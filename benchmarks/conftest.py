@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation.
+The compiler cache is session-scoped so workloads are searched once even when
+several benchmarks touch the same suite; heavy sweeps default to
+representative subsets (pass ``--benchmark-full-suites`` for the full sets).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import CompilerCache
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--benchmark-full-suites",
+        action="store_true",
+        default=False,
+        help="run every workload of each suite instead of representative subsets",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_suites(request) -> bool:
+    """Whether the full workload suites were requested."""
+    return request.config.getoption("--benchmark-full-suites")
+
+
+@pytest.fixture(scope="session")
+def compiler_cache() -> CompilerCache:
+    """Session-wide compiler cache shared by all benchmarks."""
+    return CompilerCache()
+
+
+@pytest.fixture(scope="session")
+def gemm_subset(full_suites):
+    """GEMM-chain workloads benchmarked by default."""
+    if full_suites:
+        return tuple(f"G{i}" for i in range(1, 11))
+    return ("G1", "G4", "G5", "G8")
+
+
+@pytest.fixture(scope="session")
+def conv_subset(full_suites):
+    """Convolution-chain workloads benchmarked by default."""
+    if full_suites:
+        return tuple(f"C{i}" for i in range(1, 9))
+    return ("C1", "C3", "C5")
+
+
+@pytest.fixture(scope="session")
+def gated_subset(full_suites):
+    """Gated-FFN workloads benchmarked by default."""
+    if full_suites:
+        return tuple(f"S{i}" for i in range(1, 9))
+    return ("S2", "S3", "S8")

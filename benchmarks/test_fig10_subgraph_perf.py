@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 10 (subgraph performance vs baselines)."""
+
+from repro.experiments import fig10_subgraph_perf
+from repro.experiments.common import geometric_mean
+
+
+def test_fig10_gemm_chains(benchmark, compiler_cache, gemm_subset):
+    rows = benchmark.pedantic(
+        fig10_subgraph_perf.run,
+        kwargs={"workloads": gemm_subset, "compiler_cache": compiler_cache},
+        rounds=1,
+        iterations=1,
+    )
+    summary = fig10_subgraph_perf.summarize(rows)
+    # Shape of Figure 10(a): FlashFuser ahead of every baseline on average,
+    # with the research compilers trailing the tuned libraries.
+    assert all(value > 1.0 for value in summary.values())
+    assert summary["bolt"] >= summary["tensorrt"]
+    assert summary["chimera"] >= summary["tensorrt"]
+
+
+def test_fig10_conv_chains(benchmark, compiler_cache, conv_subset):
+    rows = benchmark.pedantic(
+        fig10_subgraph_perf.run,
+        kwargs={"workloads": conv_subset, "compiler_cache": compiler_cache},
+        rounds=1,
+        iterations=1,
+    )
+    speedups = [row["speedup_vs_pytorch"] for row in rows]
+    assert geometric_mean(speedups) > 1.5
+
+
+def test_fig10_gated_ffns(benchmark, compiler_cache, gated_subset):
+    rows = benchmark.pedantic(
+        fig10_subgraph_perf.run,
+        kwargs={"workloads": gated_subset, "compiler_cache": compiler_cache},
+        rounds=1,
+        iterations=1,
+    )
+    assert all(row["speedup_vs_pytorch"] > 1.0 for row in rows)

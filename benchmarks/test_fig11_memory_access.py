@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 11 (global memory traffic vs PyTorch)."""
+
+from repro.experiments import fig11_memory_access
+
+
+def test_fig11_memory_access(benchmark, compiler_cache, gemm_subset, conv_subset):
+    rows = benchmark.pedantic(
+        fig11_memory_access.run,
+        kwargs={"workloads": (*gemm_subset, *conv_subset), "compiler_cache": compiler_cache},
+        rounds=1,
+        iterations=1,
+    )
+    summary = fig11_memory_access.summarize(rows)
+    # Shape of Figure 11: every workload moves less data fused, and the mean
+    # reduction is substantial (the paper reports ~58 %, i.e. a ~2.4x ratio).
+    assert all(row["traffic_ratio"] > 1.0 for row in rows)
+    assert summary["mean_traffic_ratio"] > 1.3
+    assert summary["mean_reduction_percent"] > 20.0

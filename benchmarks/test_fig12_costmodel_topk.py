@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 12 (cost-model validation and top-K accuracy)."""
+
+from repro.experiments import fig12_costmodel_topk
+
+
+def test_fig12a_cost_model_validation(benchmark):
+    rows = benchmark.pedantic(
+        fig12_costmodel_topk.run_cost_model_validation, rounds=1, iterations=1
+    )
+    # The configuration the cost model picks is near the simulated optimum.
+    assert all(row["accuracy_percent"] >= 70.0 for row in rows)
+
+
+def test_fig12b_topk_accuracy(benchmark):
+    rows = benchmark.pedantic(
+        fig12_costmodel_topk.run_topk_accuracy,
+        kwargs={"k_values": (1, 3, 5, 7, 9, 11, 13, 15)},
+        rounds=1,
+        iterations=1,
+    )
+    accuracies = [row["accuracy_percent"] for row in rows]
+    # Accuracy is monotone in K and essentially saturates by K = 11.
+    assert accuracies == sorted(accuracies)
+    by_k = {row["top_k"]: row["accuracy_percent"] for row in rows}
+    assert by_k[11] >= 95.0
+    assert by_k[15] >= by_k[11]

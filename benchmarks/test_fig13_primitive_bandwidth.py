@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 13 (dsm_comm primitive bandwidth/utilisation)."""
+
+from repro.experiments import fig13_primitive_bandwidth
+
+
+def test_fig13_primitive_bandwidth(benchmark):
+    rows = benchmark(fig13_primitive_bandwidth.run)
+    by_size = {}
+    for row in rows:
+        by_size.setdefault(row["cluster_size"], {})[row["primitive"]] = row
+    for primitives in by_size.values():
+        # Shuffle outperforms Reduce and Mul (they pay arithmetic on top of
+        # the transfer), and utilisation stays stable across cluster sizes.
+        assert primitives["shuffle"]["achieved_gbps"] > primitives["reduce"]["achieved_gbps"]
+        assert primitives["shuffle"]["achieved_gbps"] > primitives["mul"]["achieved_gbps"]
+        for row in primitives.values():
+            assert 60.0 <= row["utilization_percent"] <= 100.0
+    # Absolute bandwidth decreases as the cluster grows.
+    shuffle_bw = [by_size[size]["shuffle"]["achieved_gbps"] for size in sorted(by_size)]
+    assert shuffle_bw == sorted(shuffle_bw, reverse=True)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 14 (FlashFuser vs Mirage and PipeThreader)."""
+
+from repro.experiments import fig14_mirage_pipethreader
+
+
+def test_fig14_mirage_pipethreader(benchmark, compiler_cache, gated_subset):
+    rows = benchmark.pedantic(
+        fig14_mirage_pipethreader.run,
+        kwargs={"workloads": gated_subset, "compiler_cache": compiler_cache},
+        rounds=1,
+        iterations=1,
+    )
+    summary = fig14_mirage_pipethreader.summarize(rows)
+    # FlashFuser is ahead of both systems on the gated-FFN suite.
+    assert summary["vs_mirage"] > 1.0
+    assert summary["vs_pipethreader"] > 1.0

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 15 (ablation of DC / DA / SE)."""
+
+from repro.experiments import fig15_ablation
+
+
+def test_fig15_ablation(benchmark, compiler_cache, conv_subset, gemm_subset, full_suites):
+    workloads = (*conv_subset, *gemm_subset) if full_suites else ("C1", "C5", "G4", "G8")
+    rows = benchmark.pedantic(
+        fig15_ablation.run,
+        kwargs={"workloads": workloads, "compiler_cache": compiler_cache},
+        rounds=1,
+        iterations=1,
+    )
+    summary = fig15_ablation.summarize(rows)
+    # Shape of Figure 15: every configuration beats no-fusion, and the full
+    # system is at least on par with the random-configuration (DC+DA) and
+    # SMEM-only (DA) ablations.  A small tolerance absorbs the randomness of
+    # the DC+DA configuration draw.
+    assert summary["all"] > 1.0
+    assert summary["dc_da"] > 1.0
+    assert summary["all"] >= 0.9 * summary["dc_da"]
+    assert summary["all"] >= 0.9 * summary["da"]

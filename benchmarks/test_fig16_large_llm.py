@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 16 (large-LLM roofline and E2E sweep)."""
+
+from repro.experiments import fig16_large_llm
+from repro.experiments.common import geometric_mean
+
+
+def test_fig16a_roofline(benchmark):
+    rows = benchmark(fig16_large_llm.run_roofline)
+    # Arithmetic intensity (and hence attainable TFLOPS) grows with the token
+    # count until the kernels turn compute bound.
+    for model in fig16_large_llm.LARGE_MODELS:
+        model_rows = [r for r in rows if r["model"] == model]
+        intensities = [r["arithmetic_intensity"] for r in model_rows]
+        assert intensities == sorted(intensities)
+        assert model_rows[-1]["compute_bound"]
+
+
+def test_fig16b_e2e_batch_sweep(benchmark, full_suites):
+    kwargs = {}
+    if not full_suites:
+        kwargs = {"models": ("Qwen2.5-14B", "Llama3-70B"), "batch_sizes": (1, 4, 16)}
+    rows = benchmark.pedantic(
+        fig16_large_llm.run_e2e, kwargs=kwargs, rounds=1, iterations=1
+    )
+    summary = fig16_large_llm.summarize(rows)
+    # Large models are mostly compute bound, so the end-to-end speedup is
+    # positive but modest (the paper reports ~1.16x on average).
+    assert 1.0 < summary["mean_e2e_speedup"] < 1.6
+    speedups = [row["e2e_speedup"] for row in rows]
+    assert geometric_mean(speedups) > 1.0

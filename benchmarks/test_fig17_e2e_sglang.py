@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 17 (end-to-end speedup over SGLang-style serving)."""
+
+from repro.experiments import fig17_e2e_sglang
+
+
+def test_fig17_e2e_sglang(benchmark, full_suites):
+    pairs = (
+        fig17_e2e_sglang.WORKLOAD_MODELS
+        if full_suites
+        else fig17_e2e_sglang.WORKLOAD_MODELS[:6]
+    )
+    rows = benchmark.pedantic(
+        fig17_e2e_sglang.run,
+        kwargs={"workload_models": pairs},
+        rounds=1,
+        iterations=1,
+    )
+    summary = fig17_e2e_sglang.summarize(rows)
+    # The paper reports an average end-to-end improvement of ~1.3x on the
+    # subgraph-suite models; every model improves.
+    assert all(row["e2e_speedup"] > 1.0 for row in rows)
+    assert 1.1 < summary["mean_e2e_speedup"] < 1.7

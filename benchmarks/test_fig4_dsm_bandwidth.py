@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 4 (DSM bandwidth/latency vs cluster size)."""
+
+from repro.experiments import fig4_dsm_bandwidth
+
+
+def test_fig4_dsm_bandwidth(benchmark):
+    rows = benchmark(fig4_dsm_bandwidth.run)
+    dsm_rows = [r for r in rows if r["cluster_size"] != "global"]
+    bandwidths = [r["dsm_bandwidth_tbps"] for r in dsm_rows]
+    latencies = [r["dsm_latency_cycles"] for r in dsm_rows]
+    # Shape of Figure 4: bandwidth falls, latency rises with cluster size,
+    # and DSM latency always beats global memory.
+    assert bandwidths == sorted(bandwidths, reverse=True)
+    assert latencies == sorted(latencies)
+    assert all(r["latency_vs_global"] > 1.0 for r in dsm_rows)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table I (FFN share of execution time)."""
+
+from repro.experiments import table1_ffn_time
+
+
+def test_table1_ffn_time(benchmark):
+    rows = benchmark(table1_ffn_time.run)
+    assert len(rows) == 5
+    shares = {row["model"]: row["ffn_time_percent"] for row in rows}
+    # The paper's qualitative finding: 40-60 % of time in the FFN for the
+    # larger models, with GPT-6.7B the highest.
+    assert shares["GPT-6.7B"] == max(shares.values())
+    assert all(30.0 <= share <= 70.0 for share in shares.values())

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table III (pruning cascade candidate counts)."""
+
+from repro.experiments import table3_pruning
+
+
+def test_table3_pruning(benchmark):
+    rows = benchmark.pedantic(table3_pruning.run, rounds=1, iterations=1)
+    counts = [float(row["candidates"]) for row in rows]
+    # The cascade is monotone and achieves the paper's overall shape: an
+    # initial space of ~1e13 cut by more than 99.99 % overall, with Rule 1
+    # alone removing the overwhelming majority.
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] > 1e13
+    assert counts[1] < 1e9
+    assert counts[-1] < 1e8
+    assert counts[-1] / counts[0] < 1e-4

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table IV (spatial/temporal partition counts)."""
+
+from repro.experiments import table4_partitions
+
+
+def test_table4_partitions(benchmark):
+    rows = benchmark(table4_partitions.run)
+    by_spatial = {row["num_spatial_dims"]: row["num_schedules"] for row in rows}
+    assert by_spatial[1] == 24
+    assert by_spatial[2] == 12
+    assert by_spatial[3] == 4
+    assert by_spatial[4] == 1
+    assert by_spatial["total"] == 41

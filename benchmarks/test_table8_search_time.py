@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table VIII (search time vs brute force)."""
+
+from repro.experiments import table8_search_time
+
+
+def test_table8_search_time(benchmark, full_suites):
+    workloads = ("G3", "G4", "G5") if full_suites else ("G3", "G4")
+    rows = benchmark.pedantic(
+        table8_search_time.run,
+        kwargs={
+            "workloads": workloads,
+            # Simulated per-candidate compile-and-measure cost; the wall-clock
+            # cost of the benchmark itself stays bounded.
+            "profiling_overhead_s": table8_search_time.PROFILING_OVERHEAD_S,
+            "max_brute_force_candidates": None if full_suites else 2000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # The search engine is one to two orders of magnitude faster and loses
+    # nothing in plan quality.
+    assert all(row["speedup"] > 5.0 for row in rows)
+    assert all(row["same_plan_quality"] for row in rows)

@@ -1,0 +1,37 @@
+"""FlashFuser reproduction: DSM-aware kernel fusion for compute-intensive chains.
+
+The package reproduces "FlashFuser: Expanding the Scale of Kernel Fusion for
+Compute-Intensive Operators via Inter-Core Connection" (HPCA 2026) as a pure
+Python library: the dsm_comm communication abstraction, the dataflow
+analyzer, the fusion search engine, an analytical H100 model and performance
+simulator standing in for the paper's hardware testbed, the baseline
+strategies it compares against, and one experiment driver per table and
+figure of the evaluation.
+
+Typical usage::
+
+    from repro import compile_chain, h100_spec
+    from repro.ir import get_workload
+
+    chain = get_workload("G5").to_spec()
+    plan = compile_chain(chain, device=h100_spec())
+    print(plan.summary())
+"""
+
+from repro.api import CompiledKernel, FlashFuser, compile_chain
+from repro.hardware import HardwareSpec, a100_spec, h100_spec
+from repro.ir import GemmChainSpec, get_workload, list_workloads
+
+__all__ = [
+    "CompiledKernel",
+    "FlashFuser",
+    "compile_chain",
+    "HardwareSpec",
+    "a100_spec",
+    "h100_spec",
+    "GemmChainSpec",
+    "get_workload",
+    "list_workloads",
+]
+
+__version__ = "0.1.0"

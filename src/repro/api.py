@@ -1,0 +1,208 @@
+"""High-level public API.
+
+:class:`FlashFuser` is the compiler facade a downstream user interacts with:
+it owns the hardware model, the search engine and the simulator, and turns a
+:class:`~repro.ir.graph.GemmChainSpec` (or a workload id from the paper's
+tables) into a :class:`CompiledKernel` — the selected execution plan, the
+generated kernel source, and the simulated performance report.
+
+A :class:`KernelTable` implements the runtime strategy of Section IV-C3:
+kernels are compiled offline for a set of M bins (N, K and L are fixed by
+the model) and selected at runtime with a table lookup.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.codegen.cuda_emitter import emit_cuda
+from repro.codegen.kernel_ir import KernelIR, lower_plan
+from repro.codegen.plan import ExecutionPlan
+from repro.hardware.spec import HardwareSpec, h100_spec
+from repro.ir.graph import GemmChainSpec
+from repro.ir.workloads import get_workload
+from repro.search.cost_model import CostModel
+from repro.search.engine import SearchEngine, SearchResult
+from repro.sim.engine import PerformanceSimulator, SimulationReport
+from repro.sim.profiler import MemoryProfiler, TrafficReport
+
+
+@dataclass
+class CompiledKernel:
+    """The result of compiling one chain."""
+
+    plan: ExecutionPlan
+    kernel_ir: KernelIR
+    source: str
+    report: SimulationReport
+    search: SearchResult
+    traffic: TrafficReport
+
+    @property
+    def time_us(self) -> float:
+        """Simulated execution time of the fused kernel."""
+        return self.report.time_us
+
+    @property
+    def tflops(self) -> float:
+        """Simulated sustained TFLOPS."""
+        return self.plan.chain.total_flops() / self.time_us / 1e6
+
+    def summary(self) -> Dict[str, object]:
+        """Human-readable summary used by the examples."""
+        summary = self.plan.summary()
+        summary.update(
+            {
+                "time_us": self.time_us,
+                "tflops": self.tflops,
+                "global_bytes": self.traffic.total_bytes,
+                "search_time_s": self.search.search_time_s,
+                "candidates_analyzed": self.search.candidates_analyzed,
+            }
+        )
+        return summary
+
+
+class FlashFuser:
+    """The FlashFuser compiler facade.
+
+    Parameters
+    ----------
+    device:
+        Target hardware (defaults to the H100 model).
+    top_k:
+        Top-K candidates profiled after the cost-model ranking (11 in the
+        paper).
+    include_dsm:
+        Disable to restrict fusion to a single SM's resources (prior-work
+        behaviour), used by the ablation experiments.
+    max_tile:
+        Largest block tile extent the search considers.
+    """
+
+    def __init__(
+        self,
+        device: Optional[HardwareSpec] = None,
+        top_k: int = 11,
+        include_dsm: bool = True,
+        max_tile: int = 256,
+    ) -> None:
+        self.device = device or h100_spec()
+        self.simulator = PerformanceSimulator(self.device)
+        self.cost_model = CostModel(self.device)
+        self.profiler = MemoryProfiler()
+        self.top_k = top_k
+        self.include_dsm = include_dsm
+        self.max_tile = max_tile
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def compile(self, chain: GemmChainSpec) -> CompiledKernel:
+        """Search, select and lower the best fused kernel for ``chain``."""
+        engine = self._make_engine()
+        search = engine.search(chain)
+        if not search.succeeded:
+            raise FusionError(
+                f"no feasible fused plan found for {chain.name}; the chain's "
+                "intermediate exceeds every on-chip placement the search explored"
+            )
+        best = search.best
+        assert best is not None
+        report = self.simulator.simulate_plan(best.result)
+        plan = ExecutionPlan.from_dataflow(
+            best.result,
+            predicted_cost_us=best.predicted_cost_us,
+            simulated_time_us=report.time_us,
+        )
+        kernel_ir = lower_plan(plan)
+        source = emit_cuda(plan)
+        traffic = self.profiler.profile_fused(best.result)
+        return CompiledKernel(
+            plan=plan,
+            kernel_ir=kernel_ir,
+            source=source,
+            report=report,
+            search=search,
+            traffic=traffic,
+        )
+
+    def compile_workload(self, workload_id: str, m: Optional[int] = None) -> CompiledKernel:
+        """Compile one of the paper's workloads (e.g. ``"G5"`` or ``"S3"``)."""
+        spec = get_workload(workload_id).to_spec()
+        if m is not None:
+            spec = spec.scaled(m=m)
+        return self.compile(spec)
+
+    def compile_table(
+        self, chain: GemmChainSpec, m_bins: Sequence[int]
+    ) -> "KernelTable":
+        """Compile one kernel per M bin for runtime selection."""
+        kernels: Dict[int, CompiledKernel] = {}
+        for m in m_bins:
+            kernels[m] = self.compile(chain.scaled(m=m, name=f"{chain.name}_m{m}"))
+        return KernelTable(chain=chain, kernels=kernels)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _make_engine(self) -> SearchEngine:
+        from repro.search.space import SearchSpace
+
+        space = SearchSpace(
+            self.device,
+            max_tile=self.max_tile,
+            include_clusters=self.include_dsm,
+        )
+        return SearchEngine(
+            self.device,
+            top_k=self.top_k,
+            include_dsm=self.include_dsm,
+            profiler=self.simulator.profile,
+            space=space,
+            cost_model=self.cost_model,
+        )
+
+
+class FusionError(RuntimeError):
+    """Raised when no feasible fused plan exists for a chain."""
+
+
+@dataclass
+class KernelTable:
+    """Pre-compiled kernels binned by M for runtime lookup (Section IV-C3)."""
+
+    chain: GemmChainSpec
+    kernels: Dict[int, CompiledKernel] = field(default_factory=dict)
+
+    def bins(self) -> List[int]:
+        """The available M bins, ascending."""
+        return sorted(self.kernels)
+
+    def lookup(self, m: int) -> CompiledKernel:
+        """Select the kernel for a runtime M: the smallest bin covering it.
+
+        Runtime M values larger than every bin fall back to the largest
+        compiled kernel (which then runs multiple waves).
+        """
+        if m <= 0:
+            raise ValueError("m must be positive")
+        bins = self.bins()
+        if not bins:
+            raise KeyError("kernel table is empty")
+        index = bisect.bisect_left(bins, m)
+        selected = bins[min(index, len(bins) - 1)]
+        return self.kernels[selected]
+
+
+def compile_chain(
+    chain: GemmChainSpec,
+    device: Optional[HardwareSpec] = None,
+    top_k: int = 11,
+    include_dsm: bool = True,
+) -> CompiledKernel:
+    """One-shot convenience wrapper around :class:`FlashFuser`."""
+    compiler = FlashFuser(device=device, top_k=top_k, include_dsm=include_dsm)
+    return compiler.compile(chain)

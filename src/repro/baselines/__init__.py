@@ -1,0 +1,57 @@
+"""Baseline execution strategies the paper compares against.
+
+Each baseline reimplements, at the strategy level, how a published system
+executes a compute-intensive operator chain, and charges it on the same
+performance simulator FlashFuser uses:
+
+=====================  =================================================
+module                 system it models
+=====================  =================================================
+``unfused``            PyTorch / cuBLAS: every operator is its own kernel
+``epilogue_fusion``    TVM/Relay: activation fused into the producer GEMM
+``graph_subst``        TASO: graph substitutions (parallel-branch merge),
+                       no chain fusion
+``fixed_order``        BOLT: reg/SMEM chain fusion with a fixed block
+                       execution order
+``smem_fusion``        Chimera / MCFuser: analytical SMEM-only chain fusion
+``tuned_library``      TensorRT: tuned unfused kernels + epilogue fusion
+``cluster_handwritten``Mirage-style hand-written cluster kernel (fixed
+                       geometry, no search)
+``pipelined``          PipeThreader-style inter-kernel pipelining
+=====================  =================================================
+
+:mod:`repro.baselines.registry` exposes them by name for the experiments.
+"""
+
+from repro.baselines.base import Baseline, BaselineResult
+from repro.baselines.unfused import PyTorchBaseline
+from repro.baselines.epilogue_fusion import RelayBaseline
+from repro.baselines.graph_subst import TasoBaseline
+from repro.baselines.fixed_order import BoltBaseline
+from repro.baselines.smem_fusion import ChimeraBaseline
+from repro.baselines.tuned_library import TensorRTBaseline
+from repro.baselines.cluster_handwritten import MirageBaseline
+from repro.baselines.pipelined import PipeThreaderBaseline
+from repro.baselines.registry import (
+    BASELINE_NAMES,
+    COMPILER_BASELINES,
+    LIBRARY_BASELINES,
+    make_baseline,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "PyTorchBaseline",
+    "RelayBaseline",
+    "TasoBaseline",
+    "BoltBaseline",
+    "ChimeraBaseline",
+    "TensorRTBaseline",
+    "MirageBaseline",
+    "PipeThreaderBaseline",
+    "BASELINE_NAMES",
+    "COMPILER_BASELINES",
+    "LIBRARY_BASELINES",
+    "make_baseline",
+]

@@ -1,0 +1,117 @@
+"""Mirage-style baseline: hand-written cluster kernels from a fixed menu.
+
+Hand-written DSM kernels (the paper compares against Mirage in Figure 14) do
+exploit the SM-to-SM fabric, but only through a small menu of author-chosen
+templates — fixed cluster geometry, loop order and tile sizes.  Shapes no
+template supports legally fall back to unfused execution, and shapes a
+template does support get whatever that template's configuration delivers,
+with no per-shape search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.baselines.base import Baseline, BaselineResult, epilogue_fused_launches
+from repro.dataflow.analyzer import DataflowAnalyzer
+from repro.dataflow.loop_schedule import LoopSchedule
+from repro.dataflow.tiling import TileConfig
+from repro.dsm_comm.geometry import ClusterGeometry
+from repro.ir.graph import GemmChainSpec
+from repro.search.pruning import Pruner
+from repro.search.space import FusionCandidate
+
+
+@dataclass(frozen=True)
+class HandwrittenTemplate:
+    """One author-written kernel template."""
+
+    label: str
+    schedule: LoopSchedule
+    geometry: ClusterGeometry
+    tile: TileConfig
+
+
+class MirageBaseline(Baseline):
+    """Fixed-template DSM fusion without any search."""
+
+    name = "mirage"
+    COMPUTE_EFFICIENCY = 0.68
+    MEMORY_EFFICIENCY = 0.85
+    OVERLAP = 0.75
+    LAUNCH_OVERHEAD_US = 4.0
+
+    #: The template menu: a K-partitioned cluster kernel for large reduction
+    #: dimensions (the LLM FFN case the authors targeted) and a small 2x2
+    #: output-partitioned cluster kernel for modest shapes.
+    TEMPLATES: Tuple[HandwrittenTemplate, ...] = (
+        HandwrittenTemplate(
+            label="k_partitioned_cluster",
+            schedule=LoopSchedule.from_string(spatial="km", temporal="nl"),
+            geometry=ClusterGeometry(cls_m=1, cls_n=1, cls_k=16, cls_l=16),
+            tile=TileConfig(128, 128, 256, 128),
+        ),
+        HandwrittenTemplate(
+            label="k_partitioned_cluster_small",
+            schedule=LoopSchedule.from_string(spatial="km", temporal="nl"),
+            geometry=ClusterGeometry(cls_m=1, cls_n=1, cls_k=8, cls_l=8),
+            tile=TileConfig(128, 128, 256, 128),
+        ),
+        HandwrittenTemplate(
+            label="output_partitioned_cluster",
+            schedule=LoopSchedule.from_string(spatial="m", temporal="nlk"),
+            geometry=ClusterGeometry(cls_m=1, cls_n=2, cls_k=1, cls_l=2),
+            tile=TileConfig(128, 128, 64, 128),
+        ),
+    )
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.analyzer = DataflowAnalyzer(self.device, include_dsm=True)
+        self._pruner = Pruner(self.device, include_dsm=True)
+
+    def run(self, chain: GemmChainSpec) -> BaselineResult:
+        template = self._select_template(chain)
+        if template is None:
+            launches = epilogue_fused_launches(chain)
+            report = self.simulator.simulate_kernels(launches)
+            return BaselineResult(
+                strategy=self.name,
+                workload=chain.name,
+                time_us=report.time_us,
+                global_bytes=report.global_bytes,
+                kernels=len(launches),
+                fused=False,
+                notes="no hand-written template supports this shape",
+            ).with_flops(chain.total_flops())
+
+        result = self.analyzer.analyze(
+            chain, template.schedule, template.tile, template.geometry
+        )
+        report = self.simulator.simulate_plan(result)
+        return BaselineResult(
+            strategy=self.name,
+            workload=chain.name,
+            time_us=report.time_us,
+            global_bytes=report.global_bytes,
+            kernels=1,
+            fused=True,
+            notes=f"template {template.label}",
+        ).with_flops(chain.total_flops())
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _select_template(self, chain: GemmChainSpec) -> Optional[HandwrittenTemplate]:
+        """First template whose fixed configuration is legal for the shape."""
+        for template in self.TEMPLATES:
+            candidate = FusionCandidate(
+                chain=chain,
+                schedule=template.schedule,
+                tile=template.tile,
+                geometry=template.geometry,
+            )
+            if self._pruner.passes(candidate):
+                return template
+        return None

@@ -1,0 +1,48 @@
+"""Baseline registry: build baselines by name.
+
+The experiments refer to baselines by the names used in the paper's figures
+(``pytorch``, ``tensorrt``, ``relay``, ``taso``, ``bolt``, ``chimera``,
+``mirage``, ``pipethreader``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.base import Baseline
+from repro.baselines.cluster_handwritten import MirageBaseline
+from repro.baselines.epilogue_fusion import RelayBaseline
+from repro.baselines.fixed_order import BoltBaseline
+from repro.baselines.graph_subst import TasoBaseline
+from repro.baselines.pipelined import PipeThreaderBaseline
+from repro.baselines.smem_fusion import ChimeraBaseline
+from repro.baselines.tuned_library import TensorRTBaseline
+from repro.baselines.unfused import PyTorchBaseline
+from repro.hardware.spec import HardwareSpec
+
+_REGISTRY: Dict[str, Callable[..., Baseline]] = {
+    PyTorchBaseline.name: PyTorchBaseline,
+    RelayBaseline.name: RelayBaseline,
+    TasoBaseline.name: TasoBaseline,
+    BoltBaseline.name: BoltBaseline,
+    ChimeraBaseline.name: ChimeraBaseline,
+    TensorRTBaseline.name: TensorRTBaseline,
+    MirageBaseline.name: MirageBaseline,
+    PipeThreaderBaseline.name: PipeThreaderBaseline,
+}
+
+#: All registered baseline names.
+BASELINE_NAMES: List[str] = list(_REGISTRY)
+
+#: Industry libraries (Figure 10's "libraries" group).
+LIBRARY_BASELINES: List[str] = ["pytorch", "tensorrt"]
+
+#: Research compilers (Figure 10's "compilers" group).
+COMPILER_BASELINES: List[str] = ["relay", "taso", "bolt", "chimera"]
+
+
+def make_baseline(name: str, device: Optional[HardwareSpec] = None, **kwargs) -> Baseline:
+    """Instantiate a baseline by its figure name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown baseline {name!r}; available: {BASELINE_NAMES}")
+    return _REGISTRY[name](device=device, **kwargs)

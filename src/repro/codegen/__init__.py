@@ -1,0 +1,26 @@
+"""Back-end: execution plans, kernel IR and CUDA-like code emission.
+
+The paper's back-end lowers the plan selected by the search engine onto
+CUTLASS's prologue / mainloop / epilogue kernel structure, inserting the
+dsm_comm collectives at the appropriate points (Section V-B).  Without a GPU
+toolchain the reproduction emits the same structure as
+
+* a structured :class:`~repro.codegen.kernel_ir.KernelIR` (inspectable by
+  tests and by the experiments), and
+* human-readable CUDA-like source text
+  (:func:`~repro.codegen.cuda_emitter.emit_cuda`), useful for eyeballing what
+  the generated kernel would look like.
+"""
+
+from repro.codegen.cuda_emitter import emit_cuda
+from repro.codegen.kernel_ir import KernelIR, KernelSection, KernelStatement, lower_plan
+from repro.codegen.plan import ExecutionPlan
+
+__all__ = [
+    "emit_cuda",
+    "KernelIR",
+    "KernelSection",
+    "KernelStatement",
+    "lower_plan",
+    "ExecutionPlan",
+]

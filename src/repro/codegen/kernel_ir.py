@@ -1,0 +1,134 @@
+"""Kernel IR: the prologue / mainloop / epilogue structure of a fused kernel.
+
+Section V-B describes how FlashFuser extends the CUTLASS kernel skeleton:
+
+* **prologue** — TMA descriptors, SMEM allocation, DSM semaphore (mbarrier)
+  initialisation across the cluster;
+* **mainloop** — the temporal loops, the GEMM0 accumulation, the
+  all_exchange (Add or Mul), the GEMM1 accumulation fed by the shuffle ring;
+* **epilogue** — the scatter-reduce across shuffle groups, the optional TMA
+  inter-cluster atomic reduction, and the final store.
+
+:func:`lower_plan` turns an :class:`~repro.codegen.plan.ExecutionPlan` into
+this structure so tests and the emitter can inspect it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.codegen.plan import ExecutionPlan
+from repro.dsm_comm.primitives import PrimitiveKind
+from repro.ir.graph import ChainKind
+
+
+class KernelSection(Enum):
+    """The three CUTLASS-style kernel sections."""
+
+    PROLOGUE = "prologue"
+    MAINLOOP = "mainloop"
+    EPILOGUE = "epilogue"
+
+
+@dataclass(frozen=True)
+class KernelStatement:
+    """One statement of the kernel IR."""
+
+    section: KernelSection
+    opcode: str
+    detail: str = ""
+
+
+@dataclass
+class KernelIR:
+    """Structured representation of one generated kernel."""
+
+    name: str
+    statements: List[KernelStatement] = field(default_factory=list)
+
+    def add(self, section: KernelSection, opcode: str, detail: str = "") -> None:
+        """Append one statement."""
+        self.statements.append(KernelStatement(section, opcode, detail))
+
+    def section(self, section: KernelSection) -> List[KernelStatement]:
+        """Statements belonging to one section, in order."""
+        return [s for s in self.statements if s.section is section]
+
+    def opcodes(self, section: Optional[KernelSection] = None) -> List[str]:
+        """Opcodes, optionally restricted to one section."""
+        statements = self.statements if section is None else self.section(section)
+        return [s.opcode for s in statements]
+
+    def has_opcode(self, opcode: str) -> bool:
+        """Whether any statement uses ``opcode``."""
+        return any(s.opcode == opcode for s in self.statements)
+
+
+def lower_plan(plan: ExecutionPlan) -> KernelIR:
+    """Lower an execution plan into the prologue/mainloop/epilogue IR."""
+    ir = KernelIR(name=plan.kernel_name)
+    chain = plan.chain
+    geometry = plan.geometry
+    comm = plan.comm_plan
+
+    # ----------------------------- prologue --------------------------- #
+    ir.add(
+        KernelSection.PROLOGUE,
+        "declare_cluster",
+        f"cluster_dims=({geometry.cls_m},{geometry.cls_n},{geometry.cls_k},{geometry.cls_l})",
+    )
+    ir.add(
+        KernelSection.PROLOGUE,
+        "alloc_smem",
+        f"block_tile={plan.tile.as_dict()}",
+    )
+    ir.add(KernelSection.PROLOGUE, "init_tma_descriptors", "A, B, D, E")
+    if geometry.uses_dsm:
+        ir.add(
+            KernelSection.PROLOGUE,
+            "init_dsm_mbarriers",
+            f"blocks_per_cluster={geometry.blocks_per_cluster}",
+        )
+
+    # ----------------------------- mainloop --------------------------- #
+    temporal = "".join(plan.schedule.temporal) or "-"
+    ir.add(KernelSection.MAINLOOP, "temporal_loops", f"order={temporal}")
+    ir.add(KernelSection.MAINLOOP, "gemm0_mma", f"tile_k={plan.tile.block_k}")
+    all_exchange = comm.get(PrimitiveKind.ALL_EXCHANGE)
+    if all_exchange is not None:
+        ir.add(
+            KernelSection.MAINLOOP,
+            PrimitiveKind.ALL_EXCHANGE.value,
+            f"combine={all_exchange.combine.value} group={all_exchange.group_size}",
+        )
+    ir.add(KernelSection.MAINLOOP, "activation", chain.activation.value)
+    if chain.kind is ChainKind.GATED_FFN and all_exchange is None:
+        ir.add(KernelSection.MAINLOOP, "gated_sequential_mainloop", "doubled K")
+    shuffle = comm.get(PrimitiveKind.SHUFFLE)
+    if shuffle is not None:
+        ir.add(
+            KernelSection.MAINLOOP,
+            PrimitiveKind.SHUFFLE.value,
+            f"ring group={shuffle.group_size}",
+        )
+    ir.add(KernelSection.MAINLOOP, "gemm1_mma", f"tile_l={plan.tile.block_l}")
+
+    # ----------------------------- epilogue --------------------------- #
+    reduce_scatter = comm.get(PrimitiveKind.REDUCE_SCATTER)
+    if reduce_scatter is not None:
+        ir.add(
+            KernelSection.EPILOGUE,
+            PrimitiveKind.REDUCE_SCATTER.value,
+            f"groups={reduce_scatter.group_size}",
+        )
+    inter = comm.get(PrimitiveKind.INTER_CLUSTER_REDUCE)
+    if inter is not None:
+        ir.add(
+            KernelSection.EPILOGUE,
+            PrimitiveKind.INTER_CLUSTER_REDUCE.value,
+            f"cp.reduce.async.bulk clusters={inter.group_size}",
+        )
+    ir.add(KernelSection.EPILOGUE, "store_global", "E")
+    return ir

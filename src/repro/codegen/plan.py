@@ -1,0 +1,73 @@
+"""Execution plans: the hand-off between the front-end and the back-end.
+
+An :class:`ExecutionPlan` packages everything the back-end needs to generate
+a kernel: the chain, the schedule, the tile sizes, the cluster geometry, the
+resource mapping and the dsm_comm plan — plus the predicted and simulated
+cost, so experiments can report them side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.dataflow.analyzer import DataflowResult
+from repro.dataflow.loop_schedule import LoopSchedule
+from repro.dataflow.tiling import TileConfig
+from repro.dsm_comm.geometry import ClusterGeometry
+from repro.dsm_comm.primitives import CommPlan
+from repro.ir.graph import GemmChainSpec
+
+
+@dataclass
+class ExecutionPlan:
+    """A fully specified fused-kernel execution plan."""
+
+    chain: GemmChainSpec
+    schedule: LoopSchedule
+    tile: TileConfig
+    geometry: ClusterGeometry
+    comm_plan: CommPlan
+    volumes: Dict[str, float]
+    predicted_cost_us: Optional[float] = None
+    simulated_time_us: Optional[float] = None
+
+    @classmethod
+    def from_dataflow(
+        cls,
+        result: DataflowResult,
+        predicted_cost_us: Optional[float] = None,
+        simulated_time_us: Optional[float] = None,
+    ) -> "ExecutionPlan":
+        """Build a plan from a dataflow analysis result."""
+        return cls(
+            chain=result.chain,
+            schedule=result.schedule,
+            tile=result.tile,
+            geometry=result.geometry,
+            comm_plan=result.comm_plan,
+            volumes=dict(result.volumes),
+            predicted_cost_us=predicted_cost_us,
+            simulated_time_us=simulated_time_us,
+        )
+
+    @property
+    def kernel_name(self) -> str:
+        """Deterministic kernel name used by the emitter and the runtime table."""
+        cluster = "x".join(str(v) for v in self.geometry.as_tuple())
+        tiles = "x".join(
+            str(self.tile.block_of(dim)) for dim in ("m", "n", "k", "l")
+        )
+        return f"flashfuser_{self.chain.name}_cls{cluster}_blk{tiles}".replace("-", "_").replace(".", "_")
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary used by experiment reports."""
+        return {
+            "workload": self.chain.name,
+            "schedule": self.schedule.label(),
+            "cluster": self.geometry.as_tuple(),
+            "block_tile": self.tile.as_dict(),
+            "dsm_bytes": self.comm_plan.dsm_bytes(),
+            "predicted_cost_us": self.predicted_cost_us,
+            "simulated_time_us": self.simulated_time_us,
+        }

@@ -1,0 +1,42 @@
+"""Dataflow analyzer (Section IV-B).
+
+Given a loop schedule, tile sizes and a cluster geometry, the analyzer
+
+* determines which intermediate tensor must persist on chip and how large it
+  is (:mod:`repro.dataflow.footprint`),
+* greedily places it across the memory hierarchy, spilling from registers to
+  SMEM to DSM to global memory (:mod:`repro.dataflow.resource_map`),
+* and charges data-movement volume to every memory tier
+  (:mod:`repro.dataflow.analyzer`, Algorithm 1 of the paper).
+
+Loop-schedule enumeration (Table IV) lives in
+:mod:`repro.dataflow.loop_schedule` and tile-size handling in
+:mod:`repro.dataflow.tiling`.
+"""
+
+from repro.dataflow.analyzer import DataflowAnalyzer, DataflowResult
+from repro.dataflow.footprint import (
+    TENSOR_DIMS,
+    block_tile_footprint,
+    reused_tensor_footprint,
+    tensor_size_bytes,
+)
+from repro.dataflow.loop_schedule import LoopSchedule, enumerate_schedules
+from repro.dataflow.resource_map import ResourceMapping, TensorPlacement, greedy_place
+from repro.dataflow.tiling import TileConfig, enumerate_block_tiles
+
+__all__ = [
+    "DataflowAnalyzer",
+    "DataflowResult",
+    "TENSOR_DIMS",
+    "block_tile_footprint",
+    "reused_tensor_footprint",
+    "tensor_size_bytes",
+    "LoopSchedule",
+    "enumerate_schedules",
+    "ResourceMapping",
+    "TensorPlacement",
+    "greedy_place",
+    "TileConfig",
+    "enumerate_block_tiles",
+]

@@ -1,0 +1,135 @@
+"""Loop schedules: spatial/temporal partitioning and nesting order.
+
+A loop schedule assigns every loop dimension of the fused chain (m, n, k, l)
+to either the *spatial* set S (covered by parallel processing units — the
+grid and the cluster) or the *temporal* set T (iterated sequentially inside
+the kernel mainloop), and fixes the nesting order of the temporal dims.
+
+Table IV counts the possibilities: with ``s`` spatial dimensions there are
+``C(4, s) * (4 - s)!`` schedules (the spatial set is unordered, the temporal
+dims are ordered), giving 24 + 12 + 4 + 1 = 41 schedules for one to four
+spatial dimensions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Sequence, Tuple
+
+#: Canonical loop dimensions of the fused two-GEMM chain.
+CHAIN_DIMENSIONS: Tuple[str, ...] = ("m", "n", "k", "l")
+
+
+@dataclass(frozen=True)
+class LoopSchedule:
+    """One loop schedule: a spatial set plus an ordered temporal nest.
+
+    Parameters
+    ----------
+    spatial:
+        Dimensions mapped to parallel processing units (grid x cluster).
+    temporal:
+        Remaining dimensions, ordered outermost-first.
+    """
+
+    spatial: FrozenSet[str]
+    temporal: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        dims = set(self.spatial) | set(self.temporal)
+        if dims != set(CHAIN_DIMENSIONS):
+            raise ValueError(
+                f"schedule must cover exactly {CHAIN_DIMENSIONS}, got {sorted(dims)}"
+            )
+        if set(self.spatial) & set(self.temporal):
+            raise ValueError("a dimension cannot be both spatial and temporal")
+        if len(set(self.temporal)) != len(self.temporal):
+            raise ValueError("temporal order contains duplicates")
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def is_spatial(self, dim: str) -> bool:
+        """Whether ``dim`` is covered by parallel units."""
+        return dim in self.spatial
+
+    def is_temporal(self, dim: str) -> bool:
+        """Whether ``dim`` is iterated sequentially."""
+        return dim in self.temporal
+
+    def temporal_position(self, dim: str) -> int:
+        """Nesting depth of a temporal dim (0 = outermost)."""
+        return self.temporal.index(dim)
+
+    def innermost(self) -> str | None:
+        """The innermost temporal dimension, or ``None`` if all are spatial."""
+        return self.temporal[-1] if self.temporal else None
+
+    def is_outer_than(self, dim_a: str, dim_b: str) -> bool:
+        """Whether temporal ``dim_a`` is nested outside temporal ``dim_b``."""
+        return self.temporal_position(dim_a) < self.temporal_position(dim_b)
+
+    @property
+    def num_spatial(self) -> int:
+        """Number of spatial dimensions."""
+        return len(self.spatial)
+
+    def label(self) -> str:
+        """Compact label such as ``"S(m)|T(nlk)"`` or the paper's ``mnlk``."""
+        spatial = "".join(sorted(self.spatial))
+        temporal = "".join(self.temporal)
+        return f"S({spatial})|T({temporal})"
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_string(cls, spatial: str, temporal: str) -> "LoopSchedule":
+        """Build a schedule from strings, e.g. ``from_string("m", "nlk")``."""
+        return cls(spatial=frozenset(spatial), temporal=tuple(temporal))
+
+
+def enumerate_schedules(
+    dims: Sequence[str] = CHAIN_DIMENSIONS,
+    min_spatial: int = 1,
+    max_spatial: int | None = None,
+) -> List[LoopSchedule]:
+    """Enumerate all spatial/temporal partitions with ordered temporal dims.
+
+    The default bounds (at least one spatial dimension, no upper bound)
+    reproduce Table IV's 41 schedules for the four chain dimensions.
+    """
+    if max_spatial is None:
+        max_spatial = len(dims)
+    schedules: List[LoopSchedule] = []
+    for num_spatial in range(min_spatial, max_spatial + 1):
+        for spatial in itertools.combinations(dims, num_spatial):
+            remaining = [d for d in dims if d not in spatial]
+            for temporal in itertools.permutations(remaining):
+                schedules.append(
+                    LoopSchedule(spatial=frozenset(spatial), temporal=temporal)
+                )
+    return schedules
+
+
+def count_schedules(num_dims: int = 4, min_spatial: int = 1) -> int:
+    """Closed-form count of schedules (Table IV's right-hand column)."""
+    total = 0
+    for num_spatial in range(min_spatial, num_dims + 1):
+        total += math.comb(num_dims, num_spatial) * math.factorial(
+            num_dims - num_spatial
+        )
+    return total
+
+
+def iter_schedule_table(
+    dims: Sequence[str] = CHAIN_DIMENSIONS,
+) -> Iterator[Tuple[int, int]]:
+    """Yield (number of spatial dims, schedule count) rows of Table IV."""
+    for num_spatial in range(1, len(dims) + 1):
+        count = math.comb(len(dims), num_spatial) * math.factorial(
+            len(dims) - num_spatial
+        )
+        yield num_spatial, count

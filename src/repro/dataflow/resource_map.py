@@ -1,0 +1,150 @@
+"""Greedy resource mapping: placing reused tensors across the hierarchy.
+
+Algorithm 1 (lines 15-26) places a reused tensor on the fastest memory level
+with spare capacity and spills the remainder progressively downwards —
+registers, then SMEM, then DSM, then global memory.  The placement, together
+with how often the data is re-accessed, determines the per-level data
+movement volume the cost model later minimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.memory import MemoryHierarchy, MemoryLevelName
+
+
+@dataclass(frozen=True)
+class LevelBudget:
+    """Capacity of one memory level available for reused data.
+
+    A fraction of each on-chip level is reserved for the working set the
+    mainloop needs anyway (operand staging buffers, accumulators), so only
+    the remainder can hold persistent intermediates.
+    """
+
+    name: str
+    capacity_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+
+
+@dataclass
+class TensorPlacement:
+    """Where one reused tensor lives: bytes allocated per memory level."""
+
+    tensor: str
+    allocations: Dict[str, float] = field(default_factory=dict)
+
+    def allocated_bytes(self, level: str) -> float:
+        """Bytes of this tensor resident at ``level``."""
+        return self.allocations.get(level, 0.0)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes placed across all levels."""
+        return sum(self.allocations.values())
+
+    @property
+    def levels_used(self) -> List[str]:
+        """Levels with a non-zero allocation, fastest first."""
+        return [
+            name
+            for name in MemoryLevelName.ORDER
+            if self.allocations.get(name, 0.0) > 0
+        ]
+
+    @property
+    def spills_to_global(self) -> bool:
+        """Whether part of the tensor had to fall back to global memory."""
+        return self.allocations.get(MemoryLevelName.GLOBAL, 0.0) > 0
+
+    @property
+    def deepest_level(self) -> Optional[str]:
+        """The slowest level holding any part of the tensor."""
+        used = self.levels_used
+        return used[-1] if used else None
+
+
+@dataclass
+class ResourceMapping:
+    """Placements for every reused tensor of one candidate plan."""
+
+    placements: Dict[str, TensorPlacement] = field(default_factory=dict)
+
+    def add(self, placement: TensorPlacement) -> None:
+        """Record the placement of one tensor."""
+        self.placements[placement.tensor] = placement
+
+    def get(self, tensor: str) -> TensorPlacement:
+        """Return the placement of ``tensor`` (raises ``KeyError`` if absent)."""
+        return self.placements[tensor]
+
+    def fits_on_chip(self) -> bool:
+        """Whether every reused tensor avoided global memory entirely."""
+        return all(not p.spills_to_global for p in self.placements.values())
+
+
+def default_budgets(
+    hierarchy: MemoryHierarchy,
+    include_dsm: bool = True,
+    register_reserve_fraction: float = 0.5,
+    smem_reserve_bytes: int = 32 * 1024,
+) -> List[LevelBudget]:
+    """Capacity budgets for reused data at each spill target.
+
+    * registers: half the register file is reserved for MMA accumulators and
+      address arithmetic,
+    * SMEM: a fixed staging reserve is held back for double-buffered operand
+      tiles,
+    * DSM: the aggregate remote SMEM of the cluster (already sized per
+      cluster by :meth:`repro.hardware.spec.HardwareSpec
+      .memory_hierarchy_for_cluster`),
+    * global: unbounded fallback.
+    """
+    budgets: List[LevelBudget] = []
+    for level in hierarchy.spill_targets(include_dsm=include_dsm):
+        capacity = float(level.capacity_bytes)
+        if level.name == MemoryLevelName.REGISTER:
+            capacity *= 1.0 - register_reserve_fraction
+        elif level.name == MemoryLevelName.SMEM:
+            capacity = max(0.0, capacity - smem_reserve_bytes)
+        elif level.name == MemoryLevelName.GLOBAL:
+            capacity = float("inf")
+        budgets.append(LevelBudget(level.name, capacity))
+    return budgets
+
+
+def greedy_place(
+    tensor: str, footprint_bytes: float, budgets: List[LevelBudget]
+) -> TensorPlacement:
+    """Place ``footprint_bytes`` of one tensor greedily across ``budgets``.
+
+    The fastest level is filled first; whatever does not fit spills to the
+    next level (Algorithm 1, lines 17-23).  The final budget is expected to
+    be global memory with unbounded capacity, so the placement always
+    succeeds.
+    """
+    if footprint_bytes < 0:
+        raise ValueError("footprint_bytes must be non-negative")
+    placement = TensorPlacement(tensor=tensor)
+    remaining = float(footprint_bytes)
+    for budget in budgets:
+        if remaining <= 0:
+            break
+        allocation = min(remaining, budget.capacity_bytes)
+        if allocation > 0:
+            placement.allocations[budget.name] = (
+                placement.allocations.get(budget.name, 0.0) + allocation
+            )
+            remaining -= allocation
+    if remaining > 0:
+        # No global-memory budget was supplied; record the overflow there so
+        # callers can still see the spill.
+        placement.allocations[MemoryLevelName.GLOBAL] = (
+            placement.allocations.get(MemoryLevelName.GLOBAL, 0.0) + remaining
+        )
+    return placement

@@ -1,0 +1,104 @@
+"""NumPy reference implementations of the dsm_comm collectives.
+
+On real hardware the primitives move tiles between SMs through distributed
+shared memory.  Here each "block" is represented by the NumPy array it holds
+in its shared memory, and a collective is a pure function from the list of
+per-block arrays to the list of per-block results.  The functional executor
+(:mod:`repro.sim.executor`) stitches these together to run an entire fused
+FFN tile-by-tile and compare against the unfused reference — the
+reproduction's substitute for validating generated CUDA kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+ArrayList = List[np.ndarray]
+
+_COMBINE_FUNCTIONS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "add": np.add,
+    "mul": np.multiply,
+}
+
+
+def _check_group(blocks: Sequence[np.ndarray]) -> None:
+    if not blocks:
+        raise ValueError("a collective needs at least one participating block")
+    first_shape = blocks[0].shape
+    for array in blocks:
+        if array.shape != first_shape:
+            raise ValueError(
+                "all participating blocks must hold identically shaped tiles: "
+                f"{first_shape} vs {array.shape}"
+            )
+
+
+def _combine(op: str) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    if op not in _COMBINE_FUNCTIONS:
+        raise ValueError(f"unsupported combine op {op!r}; expected 'add' or 'mul'")
+    return _COMBINE_FUNCTIONS[op]
+
+
+def dsm_all_exchange(blocks: Sequence[np.ndarray], op: str = "add") -> ArrayList:
+    """All-exchange: every block ends with the combination of all tiles.
+
+    This is the collective issued after GEMM0 when the K dimension is
+    spatially partitioned (``op="add"``) or when the two branches of a gated
+    FFN live on different blocks (``op="mul"``).
+    """
+    _check_group(blocks)
+    combine = _combine(op)
+    result = blocks[0].copy()
+    for array in blocks[1:]:
+        result = combine(result, array)
+    return [result.copy() for _ in blocks]
+
+
+def dsm_shuffle(blocks: Sequence[np.ndarray], axis: int = -1) -> ArrayList:
+    """Shuffle: every block gathers the slices owned by its group peers.
+
+    Each block holds one slice of the intermediate matrix C along ``axis``;
+    after the shuffle every block holds the concatenation of all slices in
+    group order, which is exactly the full row of C that GEMM1 needs.
+    """
+    _check_group(blocks)
+    gathered = np.concatenate(list(blocks), axis=axis)
+    return [gathered.copy() for _ in blocks]
+
+
+def dsm_reduce_scatter(
+    blocks: Sequence[np.ndarray], op: str = "add", axis: int = -1
+) -> ArrayList:
+    """Reduce-scatter: partial sums are combined and each block keeps a shard.
+
+    The ``g`` participating blocks hold ``g`` partial copies of the same
+    output tile.  They are reduced elementwise and the result is split along
+    ``axis`` so block ``i`` owns shard ``i`` — avoiding redundant writes in
+    the store phase, as Section IV-A describes.
+    """
+    _check_group(blocks)
+    combine = _combine(op)
+    reduced = blocks[0].copy()
+    for array in blocks[1:]:
+        reduced = combine(reduced, array)
+    shards = np.array_split(reduced, len(blocks), axis=axis)
+    return [shard.copy() for shard in shards]
+
+
+def inter_cluster_reduce(
+    cluster_partials: Sequence[np.ndarray], op: str = "add"
+) -> np.ndarray:
+    """Inter-cluster reduction through global memory (TMA bulk atomics).
+
+    Partial outputs produced by different clusters are combined into the
+    final tensor.  Unlike the intra-cluster collectives this returns a single
+    array because the result lives in global memory, not per-block SMEM.
+    """
+    _check_group(cluster_partials)
+    combine = _combine(op)
+    result = cluster_partials[0].copy()
+    for array in cluster_partials[1:]:
+        result = combine(result, array)
+    return result

@@ -1,0 +1,267 @@
+"""DSM communication primitives and their traffic model.
+
+Each primitive describes one collective exchange inside a thread-block
+cluster.  Volumes are modelled analytically for the *whole problem* — every
+element of the intermediate matrix C participates in exactly one
+all-exchange and one shuffle, and every element of the output E in one
+scatter-reduce — so the totals are independent of how the temporal loops are
+ordered.  The dataflow analyzer combines these totals with the per-level
+traffic of inputs and outputs.
+
+The ring-based accounting mirrors the paper's implementation (TMA transfers
+with ``mbarrier`` synchronisation arranged as ring communication):
+
+* **all_exchange** over a group of ``g = cls_k`` blocks: a ring all-reduce
+  moves ``2 (g-1)/g`` times the tile per block, i.e. ``2 (g-1)/g`` times the
+  total C volume overall.
+* **shuffle** over a group of ``g = cls_shuffle`` blocks: every block
+  receives the ``g-1`` slices it does not own, i.e. ``g-1`` times the C
+  volume overall.
+* **reduce_scatter** over ``g = cls_reduce`` shuffle groups: the ``g``
+  partial copies of E are combined into one, moving ``g-1`` times the E
+  volume through DSM.
+* **inter_cluster_reduce**: partial outputs of different clusters are merged
+  with TMA ``cp.reduce.async.bulk`` atomics; this traffic goes to L2/global
+  memory, not DSM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.dsm_comm.geometry import ClusterGeometry
+from repro.hardware.dsm import DsmModel
+from repro.ir.graph import ChainKind, GemmChainSpec
+
+
+class PrimitiveKind(Enum):
+    """The four dsm_comm collectives of Section IV-A."""
+
+    ALL_EXCHANGE = "dsm_all_exchange"
+    SHUFFLE = "dsm_shuffle"
+    REDUCE_SCATTER = "dsm_reduce_scatter"
+    INTER_CLUSTER_REDUCE = "inter_cluster_reduce"
+
+
+class CombineOp(Enum):
+    """Element combination applied while exchanging."""
+
+    ADD = "add"
+    MUL = "mul"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class DsmPrimitive:
+    """One collective exchange of a fused kernel.
+
+    Parameters
+    ----------
+    kind:
+        Which collective this is.
+    group_size:
+        Number of participants (blocks for intra-cluster primitives,
+        clusters for the inter-cluster reduce).
+    combine:
+        Element combination applied on arrival (Add, Mul or none).
+    volume_bytes:
+        Total bytes moved by this primitive over the whole problem.
+    invocations:
+        How many times the collective is issued (one per cluster-tile).
+    """
+
+    kind: PrimitiveKind
+    group_size: int
+    combine: CombineOp
+    volume_bytes: float
+    invocations: int
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if self.volume_bytes < 0:
+            raise ValueError("volume_bytes must be non-negative")
+        if self.invocations < 0:
+            raise ValueError("invocations must be non-negative")
+
+    @property
+    def uses_dsm(self) -> bool:
+        """Whether the traffic travels over the SM-to-SM fabric."""
+        return self.kind is not PrimitiveKind.INTER_CLUSTER_REDUCE
+
+    def time_us(self, dsm: DsmModel, cluster_size: int, clock_ghz: float) -> float:
+        """Estimated time of this primitive's traffic in microseconds.
+
+        Bandwidth term plus a per-invocation latency term; inter-cluster
+        reductions are charged at global-memory bandwidth instead.
+        """
+        if self.volume_bytes == 0:
+            return 0.0
+        if self.uses_dsm:
+            bandwidth_gbps = dsm.bandwidth_gbps(max(cluster_size, 2))
+            latency_cycles = dsm.latency(max(cluster_size, 2))
+        else:
+            bandwidth_gbps = dsm.global_bandwidth_tbps * 1e3
+            latency_cycles = dsm.global_latency_cycles
+        bandwidth_time = self.volume_bytes / (bandwidth_gbps * 1e3)
+        latency_time = self.invocations * latency_cycles / (clock_ghz * 1e3)
+        return bandwidth_time + latency_time
+
+
+@dataclass
+class CommPlan:
+    """The complete set of collectives a fused kernel issues.
+
+    Built by :meth:`CommPlan.build` from a chain spec and a cluster
+    geometry.  The plan is what the dataflow analyzer charges against the
+    DSM tier and what the code generator lowers into prologue / mainloop /
+    epilogue communication.
+    """
+
+    chain: GemmChainSpec
+    geometry: ClusterGeometry
+    primitives: List[DsmPrimitive] = field(default_factory=list)
+    #: Number of clusters cooperating on one output tile along the GEMM1
+    #: reduction dimension; > 1 triggers the inter-cluster reduce.
+    clusters_per_output: int = 1
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        chain: GemmChainSpec,
+        geometry: ClusterGeometry,
+        clusters_per_output: int = 1,
+        gated_sequential: bool = False,
+    ) -> "CommPlan":
+        """Derive the collectives implied by ``geometry`` for ``chain``.
+
+        Parameters
+        ----------
+        chain:
+            The fused GEMM chain.
+        geometry:
+            Per-dimension cluster sizes.
+        clusters_per_output:
+            How many clusters produce partial sums of the same output tile;
+            values above one add an :data:`PrimitiveKind.INTER_CLUSTER_REDUCE`.
+        gated_sequential:
+            For gated FFNs, choose the sequential mapping (both branches run
+            in the same block with a doubled K) instead of the spatial
+            mapping (branches split across the cls_k partition).  The
+            sequential mapping removes the Mul exchange at the price of a
+            longer mainloop.
+        """
+        primitives: List[DsmPrimitive] = []
+        c_bytes = chain.c_bytes
+        e_bytes = chain.e_bytes
+        cluster_tiles = cls._cluster_tile_count(chain, geometry)
+
+        gated_spatial = chain.kind is ChainKind.GATED_FFN and not gated_sequential
+
+        if geometry.needs_all_exchange or gated_spatial:
+            group = max(geometry.cls_k, 2 if gated_spatial else geometry.cls_k)
+            combine = CombineOp.MUL if gated_spatial else CombineOp.ADD
+            volume = 2.0 * (group - 1) / group * c_bytes
+            primitives.append(
+                DsmPrimitive(
+                    kind=PrimitiveKind.ALL_EXCHANGE,
+                    group_size=group,
+                    combine=combine,
+                    volume_bytes=volume,
+                    invocations=cluster_tiles,
+                )
+            )
+
+        if geometry.needs_shuffle:
+            group = geometry.cls_shuffle
+            primitives.append(
+                DsmPrimitive(
+                    kind=PrimitiveKind.SHUFFLE,
+                    group_size=group,
+                    combine=CombineOp.NONE,
+                    volume_bytes=float(group - 1) * c_bytes,
+                    invocations=cluster_tiles,
+                )
+            )
+
+        if geometry.needs_reduce_scatter:
+            group = geometry.cls_reduce
+            primitives.append(
+                DsmPrimitive(
+                    kind=PrimitiveKind.REDUCE_SCATTER,
+                    group_size=group,
+                    combine=CombineOp.ADD,
+                    volume_bytes=float(group - 1) * e_bytes,
+                    invocations=cluster_tiles,
+                )
+            )
+
+        if clusters_per_output > 1:
+            primitives.append(
+                DsmPrimitive(
+                    kind=PrimitiveKind.INTER_CLUSTER_REDUCE,
+                    group_size=clusters_per_output,
+                    combine=CombineOp.ADD,
+                    volume_bytes=float(clusters_per_output - 1) * e_bytes,
+                    invocations=cluster_tiles,
+                )
+            )
+
+        return cls(
+            chain=chain,
+            geometry=geometry,
+            primitives=primitives,
+            clusters_per_output=clusters_per_output,
+        )
+
+    @staticmethod
+    def _cluster_tile_count(chain: GemmChainSpec, geometry: ClusterGeometry) -> int:
+        """How many cluster-sized tiles cover the problem (invocation count).
+
+        The collectives are issued once per cluster tile of the output space
+        (M x L) combined with the K partition handled inside the cluster.
+        A conservative estimate based on the minimum MMA granularity is
+        sufficient for the latency term, which is tiny next to the bandwidth
+        term for the problem sizes of interest.
+        """
+        blocks = geometry.blocks_per_cluster
+        # Work items at MMA granularity along M and L (the output space).
+        tiles_m = max(1, chain.m // 128)
+        tiles_l = max(1, chain.l // 128)
+        return max(1, (tiles_m * tiles_l) // max(1, blocks))
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def dsm_bytes(self) -> float:
+        """Total bytes moved over the SM-to-SM fabric."""
+        return sum(p.volume_bytes for p in self.primitives if p.uses_dsm)
+
+    def inter_cluster_bytes(self) -> float:
+        """Total bytes of inter-cluster (global/L2) reduction traffic."""
+        return sum(p.volume_bytes for p in self.primitives if not p.uses_dsm)
+
+    def has_primitive(self, kind: PrimitiveKind) -> bool:
+        """Whether the plan contains a collective of the given kind."""
+        return any(p.kind is kind for p in self.primitives)
+
+    def get(self, kind: PrimitiveKind) -> Optional[DsmPrimitive]:
+        """Return the collective of the given kind if present."""
+        for primitive in self.primitives:
+            if primitive.kind is kind:
+                return primitive
+        return None
+
+    def time_us(self, dsm: DsmModel, clock_ghz: float) -> float:
+        """Total estimated communication time in microseconds."""
+        cluster_size = max(2, self.geometry.blocks_per_cluster)
+        cluster_size = min(cluster_size, dsm.max_cluster_size)
+        return sum(
+            primitive.time_us(dsm, cluster_size, clock_ghz)
+            for primitive in self.primitives
+        )

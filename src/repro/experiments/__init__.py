@@ -1,0 +1,41 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run(...)`` function returning a list of row
+dictionaries (so tests and benchmarks can assert on them) and a ``main()``
+that prints the table the paper reports.  The mapping from paper artefact to
+module is recorded in DESIGN.md's per-experiment index and EXPERIMENTS.md.
+"""
+
+from repro.experiments import (
+    fig4_dsm_bandwidth,
+    fig5_chimera_failure,
+    fig10_subgraph_perf,
+    fig11_memory_access,
+    fig12_costmodel_topk,
+    fig13_primitive_bandwidth,
+    fig14_mirage_pipethreader,
+    fig15_ablation,
+    fig16_large_llm,
+    fig17_e2e_sglang,
+    table1_ffn_time,
+    table3_pruning,
+    table4_partitions,
+    table8_search_time,
+)
+
+__all__ = [
+    "fig4_dsm_bandwidth",
+    "fig5_chimera_failure",
+    "fig10_subgraph_perf",
+    "fig11_memory_access",
+    "fig12_costmodel_topk",
+    "fig13_primitive_bandwidth",
+    "fig14_mirage_pipethreader",
+    "fig15_ablation",
+    "fig16_large_llm",
+    "fig17_e2e_sglang",
+    "table1_ffn_time",
+    "table3_pruning",
+    "table4_partitions",
+    "table8_search_time",
+]

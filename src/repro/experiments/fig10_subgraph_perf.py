@@ -1,0 +1,79 @@
+"""Figure 10: subgraph performance against libraries and compilers.
+
+For each workload of the GEMM (G1-G10), convolution (C1-C8) and gated-FFN
+(S1-S8) suites, the experiment runs every baseline and FlashFuser and reports
+latencies plus speedups normalised the way the paper normalises (to PyTorch),
+together with the FlashFuser-vs-baseline speedups the abstract quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines.registry import BASELINE_NAMES, make_baseline
+from repro.experiments.common import (
+    CONV_SUITE,
+    GATED_SUITE,
+    GEMM_SUITE,
+    CompilerCache,
+    chain_for,
+    format_table,
+    geometric_mean,
+)
+from repro.hardware.spec import HardwareSpec
+
+#: Baselines shown in Figure 10.
+FIGURE10_BASELINES = ("bolt", "chimera", "relay", "taso", "tensorrt", "pytorch")
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    baselines: Sequence[str] = FIGURE10_BASELINES,
+    device: Optional[HardwareSpec] = None,
+    compiler_cache: Optional[CompilerCache] = None,
+) -> List[Dict[str, object]]:
+    """Latency of FlashFuser and each baseline per workload."""
+    workloads = list(workloads or (*GEMM_SUITE, *CONV_SUITE, *GATED_SUITE))
+    cache = compiler_cache or CompilerCache(device=device)
+    baseline_objects = {name: make_baseline(name, device=cache.device) for name in baselines}
+
+    rows: List[Dict[str, object]] = []
+    for workload_id in workloads:
+        chain = chain_for(workload_id)
+        compiled = cache.get(workload_id)
+        row: Dict[str, object] = {
+            "workload": workload_id,
+            "flashfuser_us": round(compiled.time_us, 2),
+        }
+        for name, baseline in baseline_objects.items():
+            result = baseline.run(chain)
+            row[f"{name}_us"] = round(result.time_us, 2)
+            row[f"speedup_vs_{name}"] = round(result.time_us / compiled.time_us, 2)
+        rows.append(row)
+    return rows
+
+
+def summarize(rows: List[Dict[str, object]], baselines: Sequence[str] = FIGURE10_BASELINES) -> Dict[str, float]:
+    """Geometric-mean FlashFuser speedup over each baseline."""
+    summary: Dict[str, float] = {}
+    for name in baselines:
+        key = f"speedup_vs_{name}"
+        summary[name] = round(
+            geometric_mean([float(row[key]) for row in rows if key in row]), 2
+        )
+    return summary
+
+
+def main() -> None:
+    """Print Figure 10's data and the average speedups."""
+    rows = run()
+    print("Figure 10: subgraph performance (latencies in us)")
+    print(format_table(rows))
+    print()
+    print("Average (geomean) FlashFuser speedups:")
+    for name, value in summarize(rows).items():
+        print(f"  vs {name:<10} {value:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

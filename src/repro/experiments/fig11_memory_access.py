@@ -1,0 +1,73 @@
+"""Figure 11: global memory access of FlashFuser versus PyTorch.
+
+The paper profiles both systems with Nsight Compute and finds PyTorch moving
+about 2.4x more global-memory data on average, a ~58 % reduction.  The
+reproduction derives the same quantities from the analytical traffic models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    CONV_SUITE,
+    GEMM_SUITE,
+    CompilerCache,
+    chain_for,
+    format_table,
+    geometric_mean,
+)
+from repro.hardware.spec import HardwareSpec
+from repro.sim.profiler import MemoryProfiler
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    device: Optional[HardwareSpec] = None,
+    compiler_cache: Optional[CompilerCache] = None,
+) -> List[Dict[str, object]]:
+    """Global traffic of unfused (PyTorch) vs fused (FlashFuser) execution."""
+    workloads = list(workloads or (*GEMM_SUITE, *CONV_SUITE))
+    cache = compiler_cache or CompilerCache(device=device)
+    profiler = MemoryProfiler()
+
+    rows: List[Dict[str, object]] = []
+    for workload_id in workloads:
+        chain = chain_for(workload_id)
+        compiled = cache.get(workload_id)
+        unfused = profiler.profile_unfused(chain)
+        fused = profiler.profile_fused(compiled.search.best_result())
+        ratio = unfused.total_bytes / fused.total_bytes
+        rows.append(
+            {
+                "workload": workload_id,
+                "pytorch_mb": round(unfused.total_bytes / 1e6, 2),
+                "flashfuser_mb": round(fused.total_bytes / 1e6, 2),
+                "traffic_ratio": round(ratio, 2),
+                "reduction_percent": round((1 - 1 / ratio) * 100, 1),
+            }
+        )
+    return rows
+
+
+def summarize(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Average traffic ratio and reduction across workloads."""
+    ratios = [float(row["traffic_ratio"]) for row in rows]
+    mean_ratio = geometric_mean(ratios)
+    return {
+        "mean_traffic_ratio": round(mean_ratio, 2),
+        "mean_reduction_percent": round((1 - 1 / mean_ratio) * 100, 1) if mean_ratio else 0.0,
+    }
+
+
+def main() -> None:
+    """Print Figure 11's data."""
+    rows = run()
+    print("Figure 11: global memory access, PyTorch vs FlashFuser")
+    print(format_table(rows))
+    print()
+    print(summarize(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Figure 12: cost-model validation and top-K selection accuracy.
+
+Part (a) checks that the configuration the cost model ranks first is at (or
+near) the best simulated performance among all analysed candidates.  Part (b)
+sweeps the top-K size and reports the accuracy metric the paper uses: the
+ratio of the performance of the best candidate *within the top-K list* to the
+true optimum over all candidates, averaged over workloads — approaching 100 %
+as K grows, with K=11 the paper's operating point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import CompilerCache, chain_for, format_table
+from repro.hardware.spec import HardwareSpec, h100_spec
+from repro.search.cost_model import CostModel
+from repro.search.engine import SearchEngine
+from repro.search.space import SearchSpace
+from repro.sim.engine import PerformanceSimulator
+
+#: Workloads of Figure 12a.
+COST_MODEL_WORKLOADS = ("C3", "C4", "G4")
+#: Workloads averaged for the top-K accuracy curve (subset of Tables V/VII).
+TOPK_WORKLOADS = ("G1", "G4", "G6", "C1", "C3", "C5")
+
+
+def _ranked_candidates(workload_id: str, device: HardwareSpec, max_rank: int = 64):
+    """All analysed candidates of one workload, ranked by predicted cost."""
+    simulator = PerformanceSimulator(device)
+    engine = SearchEngine(
+        device,
+        top_k=max_rank,
+        include_dsm=True,
+        profiler=None,  # rank purely by the cost model first
+        space=SearchSpace(device),
+        cost_model=CostModel(device),
+    )
+    result = engine.search(chain_for(workload_id))
+    plans = result.top_k
+    for plan in plans:
+        plan.profiled_time_us = simulator.simulate_plan(plan.result).time_us
+    return plans
+
+
+def run_cost_model_validation(
+    workloads: Sequence[str] = COST_MODEL_WORKLOADS,
+    device: Optional[HardwareSpec] = None,
+    candidates_per_workload: int = 48,
+) -> List[Dict[str, object]]:
+    """Figure 12a: predicted-best vs simulated-best TFLOPS per workload."""
+    device = device or h100_spec()
+    rows: List[Dict[str, object]] = []
+    for workload_id in workloads:
+        plans = _ranked_candidates(workload_id, device, max_rank=candidates_per_workload)
+        if not plans:
+            continue
+        chain = chain_for(workload_id)
+        flops = chain.total_flops()
+        predicted_best = plans[0]
+        simulated_best = min(plans, key=lambda p: p.profiled_time_us)
+        to_tflops = lambda plan: flops / plan.profiled_time_us / 1e6
+        rows.append(
+            {
+                "workload": workload_id,
+                "candidates": len(plans),
+                "predicted_choice_tflops": round(to_tflops(predicted_best), 1),
+                "best_tflops": round(to_tflops(simulated_best), 1),
+                "accuracy_percent": round(
+                    100.0 * simulated_best.profiled_time_us / predicted_best.profiled_time_us, 1
+                ),
+            }
+        )
+    return rows
+
+
+def run_topk_accuracy(
+    k_values: Sequence[int] = tuple(range(1, 16)),
+    workloads: Sequence[str] = TOPK_WORKLOADS,
+    device: Optional[HardwareSpec] = None,
+    candidates_per_workload: int = 64,
+) -> List[Dict[str, object]]:
+    """Figure 12b: accuracy of top-K selection as K grows."""
+    device = device or h100_spec()
+    per_workload = {
+        wid: _ranked_candidates(wid, device, max_rank=candidates_per_workload)
+        for wid in workloads
+    }
+    rows: List[Dict[str, object]] = []
+    for k in k_values:
+        accuracies = []
+        for plans in per_workload.values():
+            if not plans:
+                continue
+            best_overall = min(p.profiled_time_us for p in plans)
+            best_in_topk = min(p.profiled_time_us for p in plans[:k])
+            accuracies.append(best_overall / best_in_topk)
+        accuracy = sum(accuracies) / len(accuracies) if accuracies else 0.0
+        rows.append({"top_k": k, "accuracy_percent": round(accuracy * 100.0, 2)})
+    return rows
+
+
+def run(device: Optional[HardwareSpec] = None) -> Dict[str, List[Dict[str, object]]]:
+    """Both panels of Figure 12."""
+    return {
+        "cost_model_validation": run_cost_model_validation(device=device),
+        "topk_accuracy": run_topk_accuracy(device=device),
+    }
+
+
+def main() -> None:
+    """Print Figure 12's data."""
+    results = run()
+    print("Figure 12a: cost-model validation")
+    print(format_table(results["cost_model_validation"]))
+    print()
+    print("Figure 12b: top-K selection accuracy")
+    print(format_table(results["topk_accuracy"]))
+
+
+if __name__ == "__main__":
+    main()

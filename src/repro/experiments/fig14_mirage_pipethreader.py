@@ -1,0 +1,75 @@
+"""Figure 14: FlashFuser versus Mirage and PipeThreader on gated FFNs.
+
+Mirage stands for hand-written cluster kernels with fixed geometry;
+PipeThreader for tile-granular inter-kernel pipelining without fusion.  The
+paper finds FlashFuser ahead of both on the S1-S8 gated-FFN suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.registry import make_baseline
+from repro.experiments.common import (
+    GATED_SUITE,
+    CompilerCache,
+    chain_for,
+    format_table,
+    geometric_mean,
+)
+from repro.hardware.spec import HardwareSpec
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    device: Optional[HardwareSpec] = None,
+    compiler_cache: Optional[CompilerCache] = None,
+) -> List[Dict[str, object]]:
+    """FlashFuser speedup over Mirage and PipeThreader per workload."""
+    workloads = list(workloads or GATED_SUITE)
+    cache = compiler_cache or CompilerCache(device=device)
+    mirage = make_baseline("mirage", device=cache.device)
+    pipethreader = make_baseline("pipethreader", device=cache.device)
+
+    rows: List[Dict[str, object]] = []
+    for workload_id in workloads:
+        chain = chain_for(workload_id)
+        compiled = cache.get(workload_id)
+        mirage_result = mirage.run(chain)
+        pipe_result = pipethreader.run(chain)
+        rows.append(
+            {
+                "workload": workload_id,
+                "flashfuser_us": round(compiled.time_us, 2),
+                "mirage_us": round(mirage_result.time_us, 2),
+                "pipethreader_us": round(pipe_result.time_us, 2),
+                "speedup_vs_mirage": round(mirage_result.time_us / compiled.time_us, 2),
+                "speedup_vs_pipethreader": round(pipe_result.time_us / compiled.time_us, 2),
+            }
+        )
+    return rows
+
+
+def summarize(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Geometric-mean speedups over the two systems."""
+    return {
+        "vs_mirage": round(
+            geometric_mean([float(r["speedup_vs_mirage"]) for r in rows]), 2
+        ),
+        "vs_pipethreader": round(
+            geometric_mean([float(r["speedup_vs_pipethreader"]) for r in rows]), 2
+        ),
+    }
+
+
+def main() -> None:
+    """Print Figure 14's data."""
+    rows = run()
+    print("Figure 14: FlashFuser vs Mirage and PipeThreader (gated FFNs)")
+    print(format_table(rows))
+    print()
+    print(summarize(rows))
+
+
+if __name__ == "__main__":
+    main()

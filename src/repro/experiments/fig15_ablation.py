@@ -1,0 +1,142 @@
+"""Figure 15: ablation of the three components.
+
+Four configurations relative to a no-fusion baseline:
+
+* ``All`` — the full system (dsm_comm + dataflow analyzer + search engine),
+* ``DC+DA`` — DSM fusion with a *random* legal configuration instead of the
+  cost-model-selected one (search engine removed),
+* ``DA`` — fusion restricted to SMEM/global memory (dsm_comm removed),
+* ``No Fusion`` — the unfused baseline itself (speedup 1.0 by definition).
+
+The paper reports average speedups of roughly 3.3x / 2.1x / 1.5x for the
+first three.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.unfused import PyTorchBaseline
+from repro.dataflow.analyzer import DataflowAnalyzer
+from repro.experiments.common import (
+    CONV_SUITE,
+    GEMM_SUITE,
+    CompilerCache,
+    chain_for,
+    format_table,
+    geometric_mean,
+)
+from repro.hardware.spec import HardwareSpec, h100_spec
+from repro.search.engine import SearchEngine
+from repro.search.pruning import Pruner
+from repro.search.space import SearchSpace
+from repro.sim.engine import PerformanceSimulator
+
+
+def _random_dsm_plan_time(
+    chain, device, simulator, seed: int = 0, max_feasible: int = 1500
+) -> Optional[float]:
+    """Time of a randomly chosen legal DSM-fusion candidate (DC+DA).
+
+    The candidate is drawn by reservoir sampling over the feasible stream so
+    the choice is representative of the whole legal space rather than of the
+    enumeration order; only the analysis of at most ``max_feasible`` feasible
+    candidates is paid.
+    """
+    space = SearchSpace(device)
+    pruner = Pruner(device, include_dsm=True)
+    analyzer = DataflowAnalyzer(device, include_dsm=True)
+    rng = random.Random(seed)
+    chosen = None
+    seen = 0
+    for candidate in space.candidates(chain):
+        if not pruner.passes(candidate):
+            continue
+        result = analyzer.analyze(
+            chain, candidate.schedule, candidate.tile, candidate.geometry,
+            gated_sequential=candidate.gated_sequential,
+        )
+        if not result.feasible:
+            continue
+        seen += 1
+        if rng.random() < 1.0 / seen:
+            chosen = result
+        if seen >= max_feasible:
+            break
+    if chosen is None:
+        return None
+    return simulator.simulate_plan(chosen).time_us
+
+
+def _smem_only_time(chain, device, simulator) -> Optional[float]:
+    """Time of the best SMEM/global-only fusion (DA, no dsm_comm)."""
+    engine = SearchEngine(
+        device,
+        top_k=5,
+        include_dsm=False,
+        profiler=simulator.profile,
+        space=SearchSpace(device, include_clusters=False),
+        require_feasible=False,
+    )
+    result = engine.search(chain)
+    if result.best is None:
+        return None
+    return result.best.best_known_time_us
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    device: Optional[HardwareSpec] = None,
+    compiler_cache: Optional[CompilerCache] = None,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Speedup over no-fusion for All / DC+DA / DA per workload."""
+    device = device or h100_spec()
+    workloads = list(workloads or (*CONV_SUITE, *GEMM_SUITE))
+    cache = compiler_cache or CompilerCache(device=device)
+    simulator = PerformanceSimulator(device)
+    no_fusion = PyTorchBaseline(device=device)
+
+    rows: List[Dict[str, object]] = []
+    for workload_id in workloads:
+        chain = chain_for(workload_id)
+        baseline_us = no_fusion.run(chain).time_us
+        all_us = cache.get(workload_id).time_us
+        dcda_us = _random_dsm_plan_time(chain, device, simulator, seed=seed)
+        da_us = _smem_only_time(chain, device, simulator)
+        rows.append(
+            {
+                "workload": workload_id,
+                "no_fusion_us": round(baseline_us, 2),
+                "speedup_all": round(baseline_us / all_us, 2),
+                "speedup_dc_da": round(baseline_us / dcda_us, 2) if dcda_us else None,
+                "speedup_da": round(baseline_us / da_us, 2) if da_us else None,
+            }
+        )
+    return rows
+
+
+def summarize(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Geometric-mean speedups of the three ablation configurations."""
+    def collect(key: str) -> List[float]:
+        return [float(r[key]) for r in rows if r.get(key)]
+
+    return {
+        "all": round(geometric_mean(collect("speedup_all")), 2),
+        "dc_da": round(geometric_mean(collect("speedup_dc_da")), 2),
+        "da": round(geometric_mean(collect("speedup_da")), 2),
+    }
+
+
+def main() -> None:
+    """Print Figure 15's data."""
+    rows = run()
+    print("Figure 15: ablation study (speedup over no-fusion)")
+    print(format_table(rows))
+    print()
+    print(summarize(rows))
+
+
+if __name__ == "__main__":
+    main()

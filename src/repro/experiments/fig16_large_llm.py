@@ -1,0 +1,113 @@
+"""Figure 16: roofline analysis and end-to-end speedup for larger LLMs.
+
+Part (a) places the FFN kernels of Llama3-70B and Qwen2.5-14B/32B on the
+roofline as the batched token count (M) grows from 256 to 8k: arithmetic
+intensity rises with M, pushing the kernels into the compute-bound regime
+where kernel-level fusion has less headroom.  Part (b) sweeps batch size 1-32
+at sequence length 256 and reports the end-to-end speedup, which the paper
+finds averaging ~1.16x for these large models (1.24x across all scenarios).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import format_table, geometric_mean
+from repro.hardware.spec import HardwareSpec, h100_spec
+from repro.ir.workloads import get_model
+from repro.models.inference import E2EConfig, InferenceLatencyModel
+from repro.models.roofline import ridge_point, roofline_analysis
+
+#: Models of Figure 16.
+LARGE_MODELS = ("Llama3-70B", "Qwen2.5-32B", "Qwen2.5-14B")
+#: Token counts (M) of the roofline sweep.
+ROOFLINE_TOKENS = (256, 512, 1024, 2048, 4096, 8192)
+#: Batch sizes of the end-to-end sweep at sequence length 256.
+BATCH_SIZES = (1, 2, 4, 8, 16, 32)
+
+
+def run_roofline(
+    models: Sequence[str] = LARGE_MODELS,
+    token_counts: Sequence[int] = ROOFLINE_TOKENS,
+    device: Optional[HardwareSpec] = None,
+) -> List[Dict[str, object]]:
+    """Figure 16a: FFN arithmetic intensity and attainable TFLOPS vs M."""
+    device = device or h100_spec()
+    ridge = ridge_point(device)
+    rows: List[Dict[str, object]] = []
+    for model_name in models:
+        model = get_model(model_name)
+        chains = [model.ffn_chain(seq_len=tokens) for tokens in token_counts]
+        for tokens, point in zip(token_counts, roofline_analysis(chains, device)):
+            rows.append(
+                {
+                    "model": model_name,
+                    "tokens_m": tokens,
+                    "arithmetic_intensity": round(point.arithmetic_intensity, 1),
+                    "attainable_tflops": round(point.attainable_tflops, 1),
+                    "compute_bound": point.compute_bound,
+                    "ridge_point": round(ridge, 1),
+                }
+            )
+    return rows
+
+
+def run_e2e(
+    models: Sequence[str] = LARGE_MODELS,
+    batch_sizes: Sequence[int] = BATCH_SIZES,
+    seq_len: int = 256,
+    device: Optional[HardwareSpec] = None,
+) -> List[Dict[str, object]]:
+    """Figure 16b: end-to-end speedup vs batch size."""
+    device = device or h100_spec()
+    latency_model = InferenceLatencyModel(device=device)
+    rows: List[Dict[str, object]] = []
+    for model_name in models:
+        for batch in batch_sizes:
+            result = latency_model.evaluate(
+                E2EConfig(model_name=model_name, seq_len=seq_len, batch=batch)
+            )
+            rows.append(
+                {
+                    "model": model_name,
+                    "batch": batch,
+                    "baseline_ms": round(result.baseline_ms, 2),
+                    "flashfuser_ms": round(result.flashfuser_ms, 2),
+                    "ffn_kernel_speedup": round(result.ffn_kernel_speedup, 2),
+                    "e2e_speedup": round(result.e2e_speedup, 3),
+                }
+            )
+    return rows
+
+
+def run(device: Optional[HardwareSpec] = None) -> Dict[str, List[Dict[str, object]]]:
+    """Both panels of Figure 16."""
+    return {"roofline": run_roofline(device=device), "e2e": run_e2e(device=device)}
+
+
+def summarize(e2e_rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Average kernel and end-to-end speedups for the large models."""
+    return {
+        "mean_kernel_speedup": round(
+            geometric_mean([float(r["ffn_kernel_speedup"]) for r in e2e_rows]), 2
+        ),
+        "mean_e2e_speedup": round(
+            geometric_mean([float(r["e2e_speedup"]) for r in e2e_rows]), 3
+        ),
+    }
+
+
+def main() -> None:
+    """Print Figure 16's data."""
+    results = run()
+    print("Figure 16a: roofline analysis of large-model FFNs")
+    print(format_table(results["roofline"]))
+    print()
+    print("Figure 16b: end-to-end speedup (seq 256, batch 1-32)")
+    print(format_table(results["e2e"]))
+    print()
+    print(summarize(results["e2e"]))
+
+
+if __name__ == "__main__":
+    main()

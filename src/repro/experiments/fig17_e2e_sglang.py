@@ -1,0 +1,80 @@
+"""Figure 17: end-to-end inference speedup over an SGLang-style baseline.
+
+For the models behind the S1-S8 and G1-G10 workloads, the serving framework's
+FFN kernels are replaced with FlashFuser's fused kernels and the end-to-end
+latency compared; the paper reports an average improvement of ~1.32x for the
+subgraph-suite models and ~1.24x over all scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import format_table, geometric_mean
+from repro.hardware.spec import HardwareSpec, h100_spec
+from repro.models.inference import E2EConfig, InferenceLatencyModel
+
+#: (workload id, model name) pairs evaluated end to end.
+WORKLOAD_MODELS: Tuple[Tuple[str, str], ...] = (
+    ("S1", "llama-3.2-3B"),
+    ("S2", "LLaMA-1B"),
+    ("S3", "Llama-2-7b"),
+    ("S4", "Qwen2.5-3B"),
+    ("S5", "Qwen2.5-3B"),
+    ("S6", "Qwen2.5-1.5B"),
+    ("S7", "Qwen3-4B"),
+    ("S8", "Qwen3-0.6B"),
+    ("G4", "GPT-2-Small"),
+    ("G5", "GPT-6.7B"),
+    ("G8", "OPT-1.3B"),
+    ("G10", "BERT"),
+)
+
+
+def run(
+    workload_models: Sequence[Tuple[str, str]] = WORKLOAD_MODELS,
+    seq_len: int = 512,
+    batch: int = 1,
+    device: Optional[HardwareSpec] = None,
+) -> List[Dict[str, object]]:
+    """End-to-end speedup per workload/model pair."""
+    device = device or h100_spec()
+    latency_model = InferenceLatencyModel(device=device)
+    rows: List[Dict[str, object]] = []
+    for workload_id, model_name in workload_models:
+        result = latency_model.evaluate(
+            E2EConfig(model_name=model_name, seq_len=seq_len, batch=batch)
+        )
+        rows.append(
+            {
+                "workload": workload_id,
+                "model": model_name,
+                "baseline_ms": round(result.baseline_ms, 2),
+                "flashfuser_ms": round(result.flashfuser_ms, 2),
+                "ffn_fraction_percent": round(result.ffn_time_fraction * 100, 1),
+                "e2e_speedup": round(result.e2e_speedup, 3),
+            }
+        )
+    return rows
+
+
+def summarize(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Average end-to-end speedup."""
+    return {
+        "mean_e2e_speedup": round(
+            geometric_mean([float(r["e2e_speedup"]) for r in rows]), 3
+        )
+    }
+
+
+def main() -> None:
+    """Print Figure 17's data."""
+    rows = run()
+    print("Figure 17: end-to-end speedup over the SGLang-style baseline")
+    print(format_table(rows))
+    print()
+    print(summarize(rows))
+
+
+if __name__ == "__main__":
+    main()

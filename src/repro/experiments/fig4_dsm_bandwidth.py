@@ -1,0 +1,55 @@
+"""Figure 4: DSM bandwidth and latency versus cluster size.
+
+Bandwidth decreases and latency increases with the cluster size, yet DSM
+remains faster than global memory for every cluster size the hardware
+supports (except that the largest cluster's bandwidth approaches HBM's).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import format_table
+from repro.hardware.dsm import DsmModel
+from repro.hardware.spec import HardwareSpec, h100_spec
+
+
+def run(
+    cluster_sizes: Optional[Sequence[int]] = None,
+    device: Optional[HardwareSpec] = None,
+) -> List[Dict[str, object]]:
+    """DSM bandwidth/latency per cluster size, with global memory for scale."""
+    device = device or h100_spec()
+    dsm: DsmModel = device.dsm or DsmModel()
+    sizes = list(cluster_sizes or dsm.supported_cluster_sizes())
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        rows.append(
+            {
+                "cluster_size": size,
+                "dsm_bandwidth_tbps": round(dsm.bandwidth(size), 3),
+                "dsm_latency_cycles": round(dsm.latency(size), 1),
+                "bandwidth_vs_global": round(dsm.speedup_vs_global(size), 2),
+                "latency_vs_global": round(dsm.latency_advantage_vs_global(size), 2),
+            }
+        )
+    rows.append(
+        {
+            "cluster_size": "global",
+            "dsm_bandwidth_tbps": dsm.global_bandwidth_tbps,
+            "dsm_latency_cycles": dsm.global_latency_cycles,
+            "bandwidth_vs_global": 1.0,
+            "latency_vs_global": 1.0,
+        }
+    )
+    return rows
+
+
+def main() -> None:
+    """Print Figure 4's data."""
+    print("Figure 4: DSM bandwidth/latency vs cluster size")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Figure 5: SMEM-only fusion (Chimera) against the 227 KB capacity wall.
+
+For two-GEMM chains of increasing size, the experiment reports the SMEM an
+SMEM-only fuser needs for the intermediate of a (128, N) tile, whether that
+fits under the 227 KB per-SM limit, Chimera's relative performance against
+PyTorch, and whether FlashFuser (with DSM) still fuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.smem_fusion import ChimeraBaseline
+from repro.baselines.unfused import PyTorchBaseline
+from repro.experiments.common import format_table
+from repro.hardware.spec import HardwareSpec, h100_spec
+from repro.ir.builders import build_standard_ffn
+from repro.ir.graph import GemmChainSpec
+from repro.search.engine import SearchEngine
+
+
+@dataclass(frozen=True)
+class Fig5Workload:
+    """One bar of Figure 5: a two-GEMM chain with T=K and the given N."""
+
+    name: str
+    t: int
+    n: int
+
+    def chain(self, m: int = 128) -> GemmChainSpec:
+        _, spec = build_standard_ffn(self.name, m=m, n=self.n, k=self.t, l=self.t)
+        return spec
+
+
+#: The five workloads of Figure 5.
+WORKLOADS = (
+    Fig5Workload("ViT-Base/14", t=64, n=256),
+    Fig5Workload("Mixer-Small", t=64, n=256),
+    Fig5Workload("Bert-Small", t=64, n=512),
+    Fig5Workload("OPT1_3B", t=2048, n=8192),
+    Fig5Workload("GPT6_7B", t=4096, n=16384),
+)
+
+#: Per-SM shared memory limit highlighted in the figure.
+SMEM_LIMIT_KB = 227
+
+
+def run(
+    workloads: Optional[Sequence[Fig5Workload]] = None,
+    m: int = 128,
+    device: Optional[HardwareSpec] = None,
+) -> List[Dict[str, object]]:
+    """Chimera feasibility and relative performance per workload."""
+    device = device or h100_spec()
+    chimera = ChimeraBaseline(device=device, fallback=True)
+    pytorch = PyTorchBaseline(device=device)
+    dsm_engine = SearchEngine(device, top_k=3, include_dsm=True)
+
+    rows: List[Dict[str, object]] = []
+    for workload in workloads or WORKLOADS:
+        chain = workload.chain(m)
+        required_kb = chimera.required_smem_bytes(chain) / 1024
+        fits = required_kb <= SMEM_LIMIT_KB
+        chimera_result = chimera.run(chain)
+        torch_result = pytorch.run(chain)
+        dsm_feasible = dsm_engine.search(chain).succeeded
+        rows.append(
+            {
+                "workload": workload.name,
+                "T=K": workload.t,
+                "N": workload.n,
+                "intermediate_kb": round(required_kb, 1),
+                "fits_smem_227kb": fits,
+                "chimera_fused": chimera_result.fused,
+                "chimera_vs_torch": round(torch_result.time_us / chimera_result.time_us, 2),
+                "flashfuser_fuses": dsm_feasible,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    """Print Figure 5's data."""
+    print("Figure 5: Chimera vs the SMEM capacity wall (M=128)")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Run every experiment and print the full evaluation.
+
+``python -m repro.experiments.runner`` regenerates every table and figure of
+the paper's evaluation section in one go (this takes several minutes because
+Figure 10 searches all 26 workloads); ``--quick`` restricts the sweeps to a
+representative subset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    fig4_dsm_bandwidth,
+    fig5_chimera_failure,
+    fig10_subgraph_perf,
+    fig11_memory_access,
+    fig12_costmodel_topk,
+    fig13_primitive_bandwidth,
+    fig14_mirage_pipethreader,
+    fig15_ablation,
+    fig16_large_llm,
+    fig17_e2e_sglang,
+    table1_ffn_time,
+    table3_pruning,
+    table4_partitions,
+    table8_search_time,
+)
+
+#: Experiments in the order the paper presents them.
+ALL_EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "table1": table1_ffn_time.main,
+    "fig4": fig4_dsm_bandwidth.main,
+    "fig5": fig5_chimera_failure.main,
+    "table3": table3_pruning.main,
+    "table4": table4_partitions.main,
+    "fig10": fig10_subgraph_perf.main,
+    "fig11": fig11_memory_access.main,
+    "fig12": fig12_costmodel_topk.main,
+    "table8": table8_search_time.main,
+    "fig13": fig13_primitive_bandwidth.main,
+    "fig14": fig14_mirage_pipethreader.main,
+    "fig15": fig15_ablation.main,
+    "fig16": fig16_large_llm.main,
+    "fig17": fig17_e2e_sglang.main,
+}
+
+#: Fast subset used by --quick.
+QUICK_EXPERIMENTS = ("table1", "fig4", "table4", "fig13", "fig11", "fig17")
+
+
+def run_all(names: List[str]) -> None:
+    """Run the named experiments, timing each."""
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            raise KeyError(f"unknown experiment {name!r}; choose from {list(ALL_EXPERIMENTS)}")
+        print("=" * 78)
+        start = time.perf_counter()
+        ALL_EXPERIMENTS[name]()
+        print(f"[{name} finished in {time.perf_counter() - start:.1f}s]")
+        print()
+
+
+def main() -> None:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description="FlashFuser reproduction experiments")
+    parser.add_argument("experiments", nargs="*", help="experiment names (default: all)")
+    parser.add_argument("--quick", action="store_true", help="run the fast subset only")
+    args = parser.parse_args()
+    if args.experiments:
+        names = args.experiments
+    elif args.quick:
+        names = list(QUICK_EXPERIMENTS)
+    else:
+        names = list(ALL_EXPERIMENTS)
+    run_all(names)
+
+
+if __name__ == "__main__":
+    main()

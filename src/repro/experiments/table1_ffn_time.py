@@ -1,0 +1,55 @@
+"""Table I: percentage of execution time spent in FFN layers.
+
+The paper profiles several models at sequence length 512 and finds the FFN
+consuming roughly 40-60 % of the execution time; this driver reproduces the
+table with the transformer timing model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import format_table
+from repro.hardware.spec import HardwareSpec
+from repro.ir.workloads import get_model
+from repro.models.transformer import TransformerTimingModel
+
+#: Models and the FFN share the paper reports (percent).
+PAPER_FFN_SHARE = {
+    "GPT-6.7B": 61.28,
+    "LLaMA-1B": 57.44,
+    "OPT-1.3B": 53.08,
+    "BERT": 47.03,
+    "GPT-2": 41.64,
+}
+
+
+def run(
+    models: Optional[Sequence[str]] = None,
+    seq_len: int = 512,
+    device: Optional[HardwareSpec] = None,
+) -> List[Dict[str, object]]:
+    """Compute the FFN time share for each model."""
+    rows: List[Dict[str, object]] = []
+    for name in models or PAPER_FFN_SHARE:
+        model = get_model(name)
+        timing = TransformerTimingModel(model, device=device)
+        measured = timing.ffn_time_percentage(seq_len)
+        rows.append(
+            {
+                "model": name,
+                "ffn_time_percent": round(measured, 2),
+                "paper_percent": PAPER_FFN_SHARE.get(name),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    """Print Table I."""
+    print("Table I: FFN share of execution time (seq_len=512)")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

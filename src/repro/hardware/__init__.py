@@ -1,0 +1,28 @@
+"""Hardware models used by FlashFuser.
+
+This subpackage provides analytical models of the GPU platforms the paper
+targets.  Because the reproduction runs without physical GPU access, the
+hardware model supplies everything downstream components need:
+
+* per-level memory capacities and bandwidths (:mod:`repro.hardware.memory`),
+* the DSM (distributed shared memory) bandwidth/latency curves as a function
+  of thread-block-cluster size (:mod:`repro.hardware.dsm`, Figure 4 of the
+  paper),
+* cluster limits and MMA granularity (:mod:`repro.hardware.cluster`),
+* full device presets such as the NVIDIA H100 SXM (:mod:`repro.hardware.spec`).
+"""
+
+from repro.hardware.cluster import ClusterLimits
+from repro.hardware.dsm import DsmModel
+from repro.hardware.memory import MemoryHierarchy, MemoryLevel
+from repro.hardware.spec import HardwareSpec, a100_spec, h100_spec
+
+__all__ = [
+    "ClusterLimits",
+    "DsmModel",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "HardwareSpec",
+    "a100_spec",
+    "h100_spec",
+]

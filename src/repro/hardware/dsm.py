@@ -1,0 +1,155 @@
+"""Distributed Shared Memory (DSM) performance model.
+
+Figure 4 of the paper measures DSM bandwidth and latency as a function of the
+thread-block-cluster size on an H100: bandwidth decreases and latency grows as
+the cluster gets larger, yet DSM stays faster than global memory for every
+cluster size except the largest (bandwidth-wise) and for all sizes
+(latency-wise).
+
+:class:`DsmModel` reproduces those curves from published microbenchmark data
+(Luo et al., IPDPS'24; Jin et al., MICRO'24) and interpolates between the
+measured cluster sizes.  All downstream components — the cost model, the
+performance simulator and the Figure 4/13 experiments — read DSM performance
+exclusively through this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+#: Measured (cluster size -> bandwidth TB/s) points, Figure 4 left panel.
+#: Bandwidth falls as the cluster grows; it stays above the ~3 TB/s HBM
+#: bandwidth for every size except the largest (16), matching the paper's
+#: observation that DSM is faster than global memory "for all but the
+#: largest cluster size".
+_DEFAULT_BANDWIDTH_TBPS: Dict[int, float] = {
+    2: 3.90,
+    4: 3.55,
+    8: 3.20,
+    16: 2.70,
+}
+
+#: Measured (cluster size -> latency cycles) points, Figure 4 right panel.
+_DEFAULT_LATENCY_CYCLES: Dict[int, float] = {
+    2: 181.0,
+    4: 194.0,
+    8: 212.0,
+    16: 236.0,
+}
+
+
+@dataclass(frozen=True)
+class DsmModel:
+    """Analytical model of DSM bandwidth and latency versus cluster size.
+
+    Parameters
+    ----------
+    bandwidth_tbps:
+        Mapping from cluster size to aggregate intra-cluster DSM bandwidth in
+        TB/s.
+    latency_cycles:
+        Mapping from cluster size to one-way SM-to-SM latency in cycles.
+    global_bandwidth_tbps:
+        HBM bandwidth used as the comparison point in Figure 4.
+    global_latency_cycles:
+        Global-memory latency used as the comparison point in Figure 4.
+    max_cluster_size:
+        Hardware limit on the number of thread blocks per cluster (16 on
+        H100 with the non-portable opt-in).
+    """
+
+    bandwidth_tbps: Dict[int, float] = field(
+        default_factory=lambda: dict(_DEFAULT_BANDWIDTH_TBPS)
+    )
+    latency_cycles: Dict[int, float] = field(
+        default_factory=lambda: dict(_DEFAULT_LATENCY_CYCLES)
+    )
+    global_bandwidth_tbps: float = 3.0
+    global_latency_cycles: float = 478.0
+    max_cluster_size: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.bandwidth_tbps or not self.latency_cycles:
+            raise ValueError("bandwidth and latency tables must be non-empty")
+        if set(self.bandwidth_tbps) != set(self.latency_cycles):
+            raise ValueError("bandwidth and latency tables must share keys")
+        if any(size < 2 for size in self.bandwidth_tbps):
+            raise ValueError("DSM requires cluster sizes of at least 2")
+        if self.max_cluster_size < max(self.bandwidth_tbps):
+            raise ValueError("max_cluster_size below largest tabulated size")
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def supported_cluster_sizes(self) -> Tuple[int, ...]:
+        """Cluster sizes with tabulated measurements, ascending."""
+        return tuple(sorted(self.bandwidth_tbps))
+
+    def bandwidth(self, cluster_size: int) -> float:
+        """DSM bandwidth in TB/s for a cluster of ``cluster_size`` blocks.
+
+        Cluster size 1 means no inter-SM communication takes place; the
+        query is answered with SMEM-local behaviour and therefore raises,
+        because callers should not charge DSM traffic in that case.
+        """
+        self._check_size(cluster_size)
+        return self._interpolate(self.bandwidth_tbps, cluster_size)
+
+    def latency(self, cluster_size: int) -> float:
+        """DSM one-way latency in cycles for a cluster of the given size."""
+        self._check_size(cluster_size)
+        return self._interpolate(self.latency_cycles, cluster_size)
+
+    def bandwidth_gbps(self, cluster_size: int) -> float:
+        """Convenience conversion of :meth:`bandwidth` to GB/s."""
+        return self.bandwidth(cluster_size) * 1e3
+
+    def speedup_vs_global(self, cluster_size: int) -> float:
+        """Bandwidth advantage of DSM over global memory (>1 means faster)."""
+        return self.bandwidth(cluster_size) / self.global_bandwidth_tbps
+
+    def latency_advantage_vs_global(self, cluster_size: int) -> float:
+        """Latency advantage over global memory (>1 means lower latency)."""
+        return self.global_latency_cycles / self.latency(cluster_size)
+
+    def is_profitable(self, cluster_size: int) -> bool:
+        """Whether routing traffic through DSM beats a global-memory round
+        trip for this cluster size.
+
+        A round trip through global memory costs a write plus a read, so DSM
+        is profitable whenever its bandwidth exceeds half the HBM bandwidth.
+        """
+        return self.bandwidth(cluster_size) > 0.5 * self.global_bandwidth_tbps
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _check_size(self, cluster_size: int) -> None:
+        if cluster_size < 2:
+            raise ValueError(
+                "DSM traffic is only defined for cluster sizes >= 2 "
+                f"(got {cluster_size})"
+            )
+        if cluster_size > self.max_cluster_size:
+            raise ValueError(
+                f"cluster size {cluster_size} exceeds the hardware limit "
+                f"of {self.max_cluster_size}"
+            )
+
+    @staticmethod
+    def _interpolate(table: Dict[int, float], size: int) -> float:
+        """Piecewise-linear interpolation over the tabulated cluster sizes."""
+        if size in table:
+            return table[size]
+        keys = sorted(table)
+        if size <= keys[0]:
+            return table[keys[0]]
+        if size >= keys[-1]:
+            return table[keys[-1]]
+        for low, high in zip(keys, keys[1:]):
+            if low < size < high:
+                frac = (size - low) / (high - low)
+                return table[low] + frac * (table[high] - table[low])
+        raise AssertionError("unreachable")  # pragma: no cover

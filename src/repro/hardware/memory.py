@@ -1,0 +1,175 @@
+"""Memory hierarchy model.
+
+The paper treats the GPU as a multi-level cache hierarchy (Figure 3):
+
+====== ======================= ==========================================
+level  name                    visibility
+====== ======================= ==========================================
+L0     registers (``reg``)     one thread
+L1     shared memory (``smem``) one thread block / SM
+L1.5   DSM (``dsm``)           thread blocks in one cluster
+L2     L2 cache                whole device
+L3     global memory (``global``) whole device
+====== ======================= ==========================================
+
+:class:`MemoryLevel` describes one tier (capacity, bandwidth, latency) and
+:class:`MemoryHierarchy` orders the tiers from fastest/smallest to
+slowest/largest, which is the order the dataflow analyzer's greedy spill
+walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+class MemoryLevelName:
+    """Canonical names for the memory tiers used throughout the project."""
+
+    REGISTER = "reg"
+    SMEM = "smem"
+    DSM = "dsm"
+    L2 = "l2"
+    GLOBAL = "global"
+
+    #: Fast-to-slow ordering used by the greedy spill algorithm.
+    ORDER = (REGISTER, SMEM, DSM, L2, GLOBAL)
+
+    @classmethod
+    def index(cls, name: str) -> int:
+        """Return the position of ``name`` in the fast-to-slow ordering."""
+        return cls.ORDER.index(name)
+
+    @classmethod
+    def is_on_chip(cls, name: str) -> bool:
+        """Whether ``name`` refers to an on-chip tier (reg/smem/dsm)."""
+        return name in (cls.REGISTER, cls.SMEM, cls.DSM)
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One tier of the memory hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Canonical tier name (one of :class:`MemoryLevelName`).
+    capacity_bytes:
+        Usable capacity of the tier *per placement unit* (per thread block
+        for registers and SMEM, per cluster for DSM, per device for L2 and
+        global memory).
+    bandwidth_gbps:
+        Sustained bandwidth in GB/s available to one SM (on-chip tiers) or
+        to the whole device (off-chip tiers).
+    latency_cycles:
+        Typical access latency in clock cycles.
+    """
+
+    name: str
+    capacity_bytes: int
+    bandwidth_gbps: float
+    latency_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.name not in MemoryLevelName.ORDER:
+            raise ValueError(f"unknown memory level name: {self.name!r}")
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        if self.latency_cycles < 0:
+            raise ValueError("latency_cycles must be non-negative")
+
+    @property
+    def is_on_chip(self) -> bool:
+        """Whether this tier lives on chip (reg, smem or dsm)."""
+        return MemoryLevelName.is_on_chip(self.name)
+
+    def transfer_time_us(self, volume_bytes: float) -> float:
+        """Time in microseconds to move ``volume_bytes`` through this tier."""
+        if volume_bytes < 0:
+            raise ValueError("volume_bytes must be non-negative")
+        bytes_per_us = self.bandwidth_gbps * 1e3  # GB/s == bytes/ns == 1e3 bytes/us
+        return volume_bytes / bytes_per_us
+
+
+@dataclass
+class MemoryHierarchy:
+    """An ordered collection of :class:`MemoryLevel` objects.
+
+    Levels are stored fast-to-slow.  The hierarchy is the object handed to
+    the dataflow analyzer (Algorithm 1, ``d.getMemoryHierarchy()``).
+    """
+
+    levels: List[MemoryLevel] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for level in self.levels:
+            if level.name in seen:
+                raise ValueError(f"duplicate memory level {level.name!r}")
+            seen.add(level.name)
+        indices = [MemoryLevelName.index(level.name) for level in self.levels]
+        if indices != sorted(indices):
+            raise ValueError("memory levels must be ordered fast-to-slow")
+
+    def __iter__(self) -> Iterator[MemoryLevel]:
+        return iter(self.levels)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def names(self) -> List[str]:
+        """Return the tier names in fast-to-slow order."""
+        return [level.name for level in self.levels]
+
+    def get(self, name: str) -> MemoryLevel:
+        """Return the tier called ``name`` or raise ``KeyError``."""
+        for level in self.levels:
+            if level.name == name:
+                return level
+        raise KeyError(f"no memory level named {name!r}")
+
+    def has(self, name: str) -> bool:
+        """Whether a tier called ``name`` exists in this hierarchy."""
+        return any(level.name == name for level in self.levels)
+
+    def on_chip_levels(self) -> List[MemoryLevel]:
+        """Return the on-chip tiers (reg, smem, dsm) present in order."""
+        return [level for level in self.levels if level.is_on_chip]
+
+    def spill_targets(self, include_dsm: bool = True) -> List[MemoryLevel]:
+        """Tiers the greedy spill may place reused tensors in, fast first.
+
+        The final fallback (global memory) is always included so the spill
+        never fails outright; placing data there is what the cost model
+        penalises.  ``include_dsm=False`` models prior-work baselines such
+        as Chimera that do not know about DSM.
+        """
+        targets = []
+        for level in self.levels:
+            if level.name == MemoryLevelName.DSM and not include_dsm:
+                continue
+            if level.name == MemoryLevelName.L2:
+                # L2 is a hardware-managed cache; tensors are never pinned
+                # there explicitly, matching the paper's reg/smem/dsm/global
+                # placement choices.
+                continue
+            targets.append(level)
+        return targets
+
+    def without(self, *names: str) -> "MemoryHierarchy":
+        """Return a copy of the hierarchy with the given tiers removed."""
+        return MemoryHierarchy(
+            [level for level in self.levels if level.name not in names]
+        )
+
+    def slowest_on_chip(self, include_dsm: bool = True) -> Optional[MemoryLevel]:
+        """Return the slowest on-chip tier available for spilling."""
+        candidates = [
+            level
+            for level in self.on_chip_levels()
+            if include_dsm or level.name != MemoryLevelName.DSM
+        ]
+        return candidates[-1] if candidates else None

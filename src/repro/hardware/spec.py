@@ -1,0 +1,229 @@
+"""Full device specifications.
+
+:class:`HardwareSpec` collects everything FlashFuser needs to know about the
+target GPU: compute throughput, SM count, per-tier memory capacities and
+bandwidths, the DSM model, and cluster limits.  Presets are provided for the
+NVIDIA H100 SXM (the paper's evaluation platform) and the A100 (used in the
+introduction's memory-wall comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cluster import ClusterLimits
+from repro.hardware.dsm import DsmModel
+from repro.hardware.memory import MemoryHierarchy, MemoryLevel, MemoryLevelName
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Analytical description of one GPU.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name.
+    num_sms:
+        Number of streaming multiprocessors.
+    peak_fp16_tflops:
+        Peak FP16 tensor-core throughput in TFLOPS.
+    clock_ghz:
+        Boost clock in GHz, used to convert latency cycles to time.
+    hierarchy:
+        Memory hierarchy (fast-to-slow).
+    dsm:
+        DSM performance model (``None`` for GPUs without clusters).
+    cluster_limits:
+        Cluster-related hardware constants.
+    bytes_per_element:
+        Default datatype width in bytes (FP16 = 2).
+    """
+
+    name: str
+    num_sms: int
+    peak_fp16_tflops: float
+    clock_ghz: float
+    hierarchy: MemoryHierarchy
+    dsm: DsmModel | None
+    cluster_limits: ClusterLimits = field(default_factory=ClusterLimits)
+    bytes_per_element: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.peak_fp16_tflops <= 0:
+            raise ValueError("peak_fp16_tflops must be positive")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        if self.bytes_per_element <= 0:
+            raise ValueError("bytes_per_element must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def has_dsm(self) -> bool:
+        """Whether the device exposes distributed shared memory."""
+        return self.dsm is not None and self.hierarchy.has(MemoryLevelName.DSM)
+
+    @property
+    def smem_capacity_bytes(self) -> int:
+        """Per-SM shared-memory capacity in bytes."""
+        return self.hierarchy.get(MemoryLevelName.SMEM).capacity_bytes
+
+    @property
+    def register_capacity_bytes(self) -> int:
+        """Per-block register-file budget in bytes."""
+        return self.hierarchy.get(MemoryLevelName.REGISTER).capacity_bytes
+
+    @property
+    def global_bandwidth_gbps(self) -> float:
+        """HBM bandwidth in GB/s."""
+        return self.hierarchy.get(MemoryLevelName.GLOBAL).bandwidth_gbps
+
+    def dsm_capacity_bytes(self, cluster_size: int) -> int:
+        """Aggregate DSM capacity usable by one cluster of the given size.
+
+        DSM is simply the union of the participating SMs' shared memories,
+        so the capacity grows linearly with the cluster size; the SMEM the
+        block itself uses is excluded because it is accounted for at the
+        SMEM tier.
+        """
+        if not self.has_dsm:
+            return 0
+        if cluster_size < 1:
+            raise ValueError("cluster_size must be >= 1")
+        if cluster_size == 1:
+            return 0
+        return self.smem_capacity_bytes * (cluster_size - 1)
+
+    def memory_hierarchy_for_cluster(self, cluster_size: int) -> MemoryHierarchy:
+        """Return the hierarchy with the DSM tier resized for ``cluster_size``.
+
+        The DSM tier's capacity and bandwidth both depend on the selected
+        cluster size, so the dataflow analyzer asks for a hierarchy that is
+        specialised to the candidate under evaluation.  For a cluster size of
+        one, the DSM tier is removed entirely.
+        """
+        levels = []
+        for level in self.hierarchy:
+            if level.name != MemoryLevelName.DSM:
+                levels.append(level)
+                continue
+            if cluster_size <= 1 or not self.has_dsm:
+                continue
+            assert self.dsm is not None
+            levels.append(
+                MemoryLevel(
+                    name=MemoryLevelName.DSM,
+                    capacity_bytes=self.dsm_capacity_bytes(cluster_size),
+                    bandwidth_gbps=self.dsm.bandwidth_gbps(cluster_size),
+                    latency_cycles=self.dsm.latency(cluster_size),
+                )
+            )
+        return MemoryHierarchy(levels)
+
+    def time_per_flop_us(self) -> float:
+        """Time in microseconds to execute one FP16 FLOP at peak."""
+        return 1.0 / (self.peak_fp16_tflops * 1e6)
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert a cycle count to microseconds at the boost clock."""
+        return cycles / (self.clock_ghz * 1e3)
+
+
+# ---------------------------------------------------------------------- #
+# Presets
+# ---------------------------------------------------------------------- #
+def h100_spec() -> HardwareSpec:
+    """NVIDIA H100 SXM preset (the paper's evaluation platform).
+
+    Capacities and bandwidths follow the paper and published
+    microbenchmarks: 227 KB usable SMEM per SM, 64 K 32-bit registers per SM,
+    3.35 TB/s HBM3, ~1000 TFLOPS FP16 tensor-core peak, 132 SMs.
+    """
+    hierarchy = MemoryHierarchy(
+        [
+            MemoryLevel(
+                name=MemoryLevelName.REGISTER,
+                capacity_bytes=64 * 1024 * 4,  # 64K 32-bit registers per SM
+                bandwidth_gbps=40_000.0,
+                latency_cycles=1.0,
+            ),
+            MemoryLevel(
+                name=MemoryLevelName.SMEM,
+                capacity_bytes=227 * 1024,
+                bandwidth_gbps=20_000.0,
+                latency_cycles=29.0,
+            ),
+            MemoryLevel(
+                name=MemoryLevelName.DSM,
+                capacity_bytes=227 * 1024 * 15,  # placeholder, resized per cluster
+                bandwidth_gbps=3_900.0,
+                latency_cycles=181.0,
+            ),
+            MemoryLevel(
+                name=MemoryLevelName.L2,
+                capacity_bytes=50 * 1024 * 1024,
+                bandwidth_gbps=7_000.0,
+                latency_cycles=270.0,
+            ),
+            MemoryLevel(
+                name=MemoryLevelName.GLOBAL,
+                capacity_bytes=80 * 1024 * 1024 * 1024,
+                bandwidth_gbps=3_350.0,
+                latency_cycles=478.0,
+            ),
+        ]
+    )
+    return HardwareSpec(
+        name="NVIDIA H100 SXM",
+        num_sms=132,
+        peak_fp16_tflops=989.0,
+        clock_ghz=1.83,
+        hierarchy=hierarchy,
+        dsm=DsmModel(),
+        cluster_limits=ClusterLimits(),
+    )
+
+
+def a100_spec() -> HardwareSpec:
+    """NVIDIA A100 SXM preset (no DSM; used for memory-wall comparisons)."""
+    hierarchy = MemoryHierarchy(
+        [
+            MemoryLevel(
+                name=MemoryLevelName.REGISTER,
+                capacity_bytes=64 * 1024 * 4,
+                bandwidth_gbps=20_000.0,
+                latency_cycles=1.0,
+            ),
+            MemoryLevel(
+                name=MemoryLevelName.SMEM,
+                capacity_bytes=164 * 1024,
+                bandwidth_gbps=15_000.0,
+                latency_cycles=29.0,
+            ),
+            MemoryLevel(
+                name=MemoryLevelName.L2,
+                capacity_bytes=40 * 1024 * 1024,
+                bandwidth_gbps=5_000.0,
+                latency_cycles=250.0,
+            ),
+            MemoryLevel(
+                name=MemoryLevelName.GLOBAL,
+                capacity_bytes=80 * 1024 * 1024 * 1024,
+                bandwidth_gbps=2_039.0,
+                latency_cycles=500.0,
+            ),
+        ]
+    )
+    return HardwareSpec(
+        name="NVIDIA A100 SXM",
+        num_sms=108,
+        peak_fp16_tflops=312.0,
+        clock_ghz=1.41,
+        hierarchy=hierarchy,
+        dsm=None,
+        cluster_limits=ClusterLimits(max_blocks_per_cluster=1, allowed_dim_sizes=(1,)),
+    )

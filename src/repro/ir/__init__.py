@@ -1,0 +1,67 @@
+"""Operator-graph intermediate representation.
+
+The IR describes the workloads FlashFuser fuses:
+
+* :mod:`repro.ir.tensor` — tensor metadata (shape, dtype, byte size),
+* :mod:`repro.ir.ops` — tensor operators (GEMM, Conv2d, activations,
+  elementwise arithmetic),
+* :mod:`repro.ir.graph` — operator graphs and the canonical fusible
+  *GEMM-chain* description with dimensions (M, N, K, L),
+* :mod:`repro.ir.builders` — constructors for the paper's three chain shapes
+  (standard FFN, gated FFN, convolution chain via im2col),
+* :mod:`repro.ir.workloads` — the concrete configurations of Tables V, VI and
+  VII plus the model zoo used by Table I and Figures 16-17.
+"""
+
+from repro.ir.graph import ChainKind, GemmChainSpec, OperatorGraph
+from repro.ir.builders import (
+    build_conv_chain,
+    build_gated_ffn,
+    build_standard_ffn,
+    conv_chain_to_gemm_chain,
+)
+from repro.ir.ops import (
+    Activation,
+    ActivationKind,
+    Conv2d,
+    Elementwise,
+    ElementwiseKind,
+    Gemm,
+    Operator,
+)
+from repro.ir.tensor import DType, TensorSpec
+from repro.ir.workloads import (
+    CONV_CHAIN_CONFIGS,
+    GATED_FFN_CONFIGS,
+    GEMM_CHAIN_CONFIGS,
+    ConvChainConfig,
+    GemmChainConfig,
+    get_workload,
+    list_workloads,
+)
+
+__all__ = [
+    "ChainKind",
+    "GemmChainSpec",
+    "OperatorGraph",
+    "build_conv_chain",
+    "build_gated_ffn",
+    "build_standard_ffn",
+    "conv_chain_to_gemm_chain",
+    "Activation",
+    "ActivationKind",
+    "Conv2d",
+    "Elementwise",
+    "ElementwiseKind",
+    "Gemm",
+    "Operator",
+    "DType",
+    "TensorSpec",
+    "CONV_CHAIN_CONFIGS",
+    "GATED_FFN_CONFIGS",
+    "GEMM_CHAIN_CONFIGS",
+    "ConvChainConfig",
+    "GemmChainConfig",
+    "get_workload",
+    "list_workloads",
+]

@@ -1,0 +1,286 @@
+"""Operator graphs and the canonical GEMM-chain description.
+
+Two representations coexist, mirroring the paper:
+
+* :class:`OperatorGraph` — a general DAG of :class:`~repro.ir.ops.Operator`
+  nodes.  End-to-end models and graph-level baselines (TASO-like
+  substitution, Relay-like epilogue fusion) operate on this.
+* :class:`GemmChainSpec` — the canonical fusible chain of two
+  compute-intensive operators with loop dimensions (M, N, K, L) as drawn in
+  Figure 2.  The dataflow analyzer and the fusion search engine operate on
+  this compact form; convolution chains are lowered to it through im2col.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import networkx as nx
+
+from repro.ir.ops import ActivationKind, Operator
+from repro.ir.tensor import DType, TensorSpec
+
+
+class ChainKind(Enum):
+    """The three fusible chain shapes of Figure 1."""
+
+    STANDARD_FFN = "standard_ffn"
+    GATED_FFN = "gated_ffn"
+    CONV_CHAIN = "conv_chain"
+
+
+#: Loop dimension names used throughout the project, in canonical order.
+DIMENSIONS = ("m", "n", "k", "l")
+
+
+@dataclass(frozen=True)
+class GemmChainSpec:
+    """A two-GEMM fusible chain with loop dimensions (M, N, K, L).
+
+    Following the paper's convention, GEMM0 computes
+    ``C[M, N] = A[M, K] @ B[K, N]`` and GEMM1 computes
+    ``E[M, L] = C[M, N] @ D[N, L]``; an activation sits between them.  A
+    gated FFN runs two parallel GEMM0 branches whose results are combined
+    with an elementwise multiply before GEMM1.
+
+    Parameters
+    ----------
+    name:
+        Workload identifier (for example ``"G5"`` or ``"llama-2-7b-ffn"``).
+    m, n, k, l:
+        The four loop extents.
+    kind:
+        Chain shape (standard FFN, gated FFN or im2col-lowered conv chain).
+    activation:
+        Activation applied to the intermediate matrix C.
+    dtype:
+        Element datatype.
+    """
+
+    name: str
+    m: int
+    n: int
+    k: int
+    l: int
+    kind: ChainKind = ChainKind.STANDARD_FFN
+    activation: ActivationKind = ActivationKind.RELU
+    dtype: DType = DType.FP16
+
+    def __post_init__(self) -> None:
+        for dim_name in DIMENSIONS:
+            if getattr(self, dim_name) <= 0:
+                raise ValueError(f"dimension {dim_name} must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Dimensions and shapes
+    # ------------------------------------------------------------------ #
+    def dimension_sizes(self) -> Dict[str, int]:
+        """Loop extents keyed by dimension name."""
+        return {dim: getattr(self, dim) for dim in DIMENSIONS}
+
+    @property
+    def num_gemm0_branches(self) -> int:
+        """Number of parallel GEMM0 branches (2 for gated FFN, else 1)."""
+        return 2 if self.kind is ChainKind.GATED_FFN else 1
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return self.dtype.itemsize
+
+    # Tensor byte sizes ------------------------------------------------- #
+    @property
+    def a_bytes(self) -> int:
+        """Size of input activation A[M, K]."""
+        return self.m * self.k * self.itemsize
+
+    @property
+    def b_bytes(self) -> int:
+        """Size of GEMM0 weights (both branches for a gated FFN)."""
+        return self.k * self.n * self.itemsize * self.num_gemm0_branches
+
+    @property
+    def c_bytes(self) -> int:
+        """Size of the intermediate matrix C[M, N]."""
+        return self.m * self.n * self.itemsize
+
+    @property
+    def d_bytes(self) -> int:
+        """Size of GEMM1 weights D[N, L]."""
+        return self.n * self.l * self.itemsize
+
+    @property
+    def e_bytes(self) -> int:
+        """Size of the output matrix E[M, L]."""
+        return self.m * self.l * self.itemsize
+
+    # FLOPs -------------------------------------------------------------- #
+    def gemm0_flops(self) -> int:
+        """FLOPs of the first GEMM (all branches)."""
+        return 2 * self.m * self.n * self.k * self.num_gemm0_branches
+
+    def gemm1_flops(self) -> int:
+        """FLOPs of the second GEMM."""
+        return 2 * self.m * self.l * self.n
+
+    def total_flops(self) -> int:
+        """FLOPs of the whole chain (activations/elementwise excluded)."""
+        return self.gemm0_flops() + self.gemm1_flops()
+
+    # Global-memory traffic bounds --------------------------------------- #
+    def weight_bytes(self) -> int:
+        """Bytes of weights that must be read at least once."""
+        return self.b_bytes + self.d_bytes
+
+    def io_bytes_min(self) -> int:
+        """Lower bound on global traffic: inputs + weights + final output."""
+        return self.a_bytes + self.weight_bytes() + self.e_bytes
+
+    def unfused_global_bytes(self) -> int:
+        """Global traffic of the unfused execution.
+
+        Each GEMM reads its operands and writes its result, so the
+        intermediate C makes a full round trip (one write, one read), and
+        the activation makes another (read + write) when it runs as a
+        separate elementwise kernel.
+        """
+        gemm0 = self.a_bytes + self.b_bytes + self.c_bytes
+        activation = 2 * self.c_bytes
+        gemm1 = self.c_bytes + self.d_bytes + self.e_bytes
+        if self.kind is ChainKind.GATED_FFN:
+            # The two branch results are combined by a separate elementwise
+            # multiply: read both, write one.
+            activation += self.c_bytes
+        return gemm0 + activation + gemm1
+
+    def intermediate_bytes(self) -> int:
+        """Bytes of intermediate data that fusion must keep on chip."""
+        return self.c_bytes * self.num_gemm0_branches
+
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte at the fused lower bound."""
+        return self.total_flops() / self.io_bytes_min()
+
+    def scaled(self, m: Optional[int] = None, name: Optional[str] = None) -> "GemmChainSpec":
+        """Return a copy with a different M (used by the runtime binning)."""
+        return GemmChainSpec(
+            name=name or self.name,
+            m=m if m is not None else self.m,
+            n=self.n,
+            k=self.k,
+            l=self.l,
+            kind=self.kind,
+            activation=self.activation,
+            dtype=self.dtype,
+        )
+
+
+class OperatorGraph:
+    """A DAG of operators connected through named tensors.
+
+    Edges are implied by tensor names: an operator that lists tensor ``t``
+    among its inputs consumes the output of whichever operator produced
+    ``t``.  Graph inputs are tensors no operator produces.
+    """
+
+    def __init__(self, name: str, operators: Optional[Sequence[Operator]] = None):
+        self.name = name
+        self._operators: List[Operator] = []
+        self._producers: Dict[str, Operator] = {}
+        for op in operators or []:
+            self.add(op)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, op: Operator) -> Operator:
+        """Add an operator to the graph and return it."""
+        if any(existing.name == op.name for existing in self._operators):
+            raise ValueError(f"duplicate operator name {op.name!r}")
+        out_name = op.output.name
+        if out_name in self._producers:
+            raise ValueError(f"tensor {out_name!r} already has a producer")
+        self._operators.append(op)
+        self._producers[out_name] = op
+        return op
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def operators(self) -> List[Operator]:
+        """Operators in insertion order (a valid topological order)."""
+        return list(self._operators)
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    def producer_of(self, tensor_name: str) -> Optional[Operator]:
+        """The operator producing ``tensor_name``, or ``None`` for inputs."""
+        return self._producers.get(tensor_name)
+
+    def consumers_of(self, tensor_name: str) -> List[Operator]:
+        """Operators consuming ``tensor_name``."""
+        return [
+            op
+            for op in self._operators
+            if any(t.name == tensor_name for t in op.inputs)
+        ]
+
+    def input_tensors(self) -> List[TensorSpec]:
+        """Tensors read by the graph but produced by no operator."""
+        seen: Dict[str, TensorSpec] = {}
+        for op in self._operators:
+            for tensor in op.inputs:
+                if tensor.name not in self._producers and tensor.name not in seen:
+                    seen[tensor.name] = tensor
+        return list(seen.values())
+
+    def output_tensors(self) -> List[TensorSpec]:
+        """Tensors produced by an operator but consumed by none."""
+        outputs = []
+        for op in self._operators:
+            if not self.consumers_of(op.output.name):
+                outputs.append(op.output)
+        return outputs
+
+    def intermediate_tensors(self) -> List[TensorSpec]:
+        """Tensors produced by one operator and consumed by another."""
+        intermediates = []
+        for op in self._operators:
+            if self.consumers_of(op.output.name):
+                intermediates.append(op.output)
+        return intermediates
+
+    def io_tensors(self) -> List[TensorSpec]:
+        """Graph inputs plus graph outputs."""
+        return self.input_tensors() + self.output_tensors()
+
+    def total_flops(self) -> int:
+        """Sum of operator FLOP counts."""
+        return sum(op.flops() for op in self._operators)
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export the graph as a ``networkx.DiGraph`` of operator names."""
+        graph = nx.DiGraph()
+        for op in self._operators:
+            graph.add_node(op.name, operator=op)
+        for op in self._operators:
+            for tensor in op.inputs:
+                producer = self._producers.get(tensor.name)
+                if producer is not None:
+                    graph.add_edge(producer.name, op.name, tensor=tensor.name)
+        return graph
+
+    def topological_order(self) -> List[Operator]:
+        """Operators sorted topologically (raises on cycles)."""
+        nx_graph = self.to_networkx()
+        order = list(nx.topological_sort(nx_graph))
+        by_name = {op.name: op for op in self._operators}
+        return [by_name[name] for name in order]
+
+    def compute_intensive_operators(self) -> List[Operator]:
+        """GEMM/conv operators, the fusion anchors."""
+        return [op for op in self._operators if op.is_compute_intensive]

@@ -1,0 +1,267 @@
+"""Tensor operators.
+
+The operator set covers what the paper's workloads need: GEMM, 2-D
+convolution (lowered to GEMM via im2col by :mod:`repro.ir.builders`),
+activations (ReLU, SiLU, GELU), and elementwise arithmetic (add, multiply)
+for residual connections and gated FFNs.
+
+Every operator knows its input/output tensors, its FLOP count and the number
+of bytes it touches, which is all the downstream roofline and baseline models
+require.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Tuple
+
+from repro.ir.tensor import DType, TensorSpec
+
+
+class Operator(ABC):
+    """Base class for all tensor operators."""
+
+    #: Unique operator name within its graph.
+    name: str
+
+    @property
+    @abstractmethod
+    def inputs(self) -> List[TensorSpec]:
+        """Input tensor specs in positional order."""
+
+    @property
+    @abstractmethod
+    def output(self) -> TensorSpec:
+        """Output tensor spec."""
+
+    @abstractmethod
+    def flops(self) -> int:
+        """Floating-point operations performed (multiply-add counts as 2)."""
+
+    @property
+    def is_compute_intensive(self) -> bool:
+        """Whether the operator is compute-bound in isolation (GEMM/conv)."""
+        return False
+
+    def io_bytes(self) -> int:
+        """Bytes read and written if the operator executes unfused."""
+        return sum(t.num_bytes for t in self.inputs) + self.output.num_bytes
+
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of unfused global-memory traffic."""
+        io = self.io_bytes()
+        return self.flops() / io if io else 0.0
+
+
+@dataclass(frozen=True)
+class Gemm(Operator):
+    """General matrix multiplication ``out[M, N] = lhs[M, K] @ rhs[K, N]``.
+
+    Parameters
+    ----------
+    name:
+        Operator name.
+    lhs, rhs:
+        Input tensor specs.  ``lhs`` has shape (M, K) and ``rhs`` (K, N).
+    accum_dtype:
+        Accumulator datatype (FP32 by default, as tensor cores do).
+    """
+
+    name: str
+    lhs: TensorSpec
+    rhs: TensorSpec
+    accum_dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        if self.lhs.rank != 2 or self.rhs.rank != 2:
+            raise ValueError("Gemm operands must be rank-2 tensors")
+        if self.lhs.shape[1] != self.rhs.shape[0]:
+            raise ValueError(
+                f"Gemm dimension mismatch: lhs {self.lhs.shape} x rhs {self.rhs.shape}"
+            )
+
+    @property
+    def m(self) -> int:
+        return self.lhs.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.lhs.shape[1]
+
+    @property
+    def n(self) -> int:
+        return self.rhs.shape[1]
+
+    @property
+    def inputs(self) -> List[TensorSpec]:
+        return [self.lhs, self.rhs]
+
+    @property
+    def output(self) -> TensorSpec:
+        return TensorSpec(
+            name=f"{self.name}.out", shape=(self.m, self.n), dtype=self.lhs.dtype
+        )
+
+    @property
+    def is_compute_intensive(self) -> bool:
+        return True
+
+    def flops(self) -> int:
+        return 2 * self.m * self.n * self.k
+
+
+class ActivationKind(Enum):
+    """Supported activation functions."""
+
+    RELU = "relu"
+    SILU = "silu"
+    GELU = "gelu"
+    IDENTITY = "identity"
+
+
+@dataclass(frozen=True)
+class Activation(Operator):
+    """Elementwise activation applied to a single tensor."""
+
+    name: str
+    kind: ActivationKind
+    input_spec: TensorSpec
+
+    @property
+    def inputs(self) -> List[TensorSpec]:
+        return [self.input_spec]
+
+    @property
+    def output(self) -> TensorSpec:
+        return self.input_spec.with_name(f"{self.name}.out")
+
+    def flops(self) -> int:
+        # One (RELU) to a handful (SiLU/GELU) of flops per element; use the
+        # conventional single-op accounting used by roofline analyses.
+        per_element = {
+            ActivationKind.RELU: 1,
+            ActivationKind.SILU: 4,
+            ActivationKind.GELU: 8,
+            ActivationKind.IDENTITY: 0,
+        }[self.kind]
+        return per_element * self.input_spec.num_elements
+
+
+class ElementwiseKind(Enum):
+    """Supported binary elementwise operators."""
+
+    ADD = "add"
+    MUL = "mul"
+
+
+@dataclass(frozen=True)
+class Elementwise(Operator):
+    """Binary elementwise operator over two same-shaped tensors."""
+
+    name: str
+    kind: ElementwiseKind
+    lhs: TensorSpec
+    rhs: TensorSpec
+
+    def __post_init__(self) -> None:
+        if self.lhs.shape != self.rhs.shape:
+            raise ValueError(
+                f"elementwise operands must share a shape: "
+                f"{self.lhs.shape} vs {self.rhs.shape}"
+            )
+
+    @property
+    def inputs(self) -> List[TensorSpec]:
+        return [self.lhs, self.rhs]
+
+    @property
+    def output(self) -> TensorSpec:
+        return self.lhs.with_name(f"{self.name}.out")
+
+    def flops(self) -> int:
+        return self.lhs.num_elements
+
+
+@dataclass(frozen=True)
+class Conv2d(Operator):
+    """2-D convolution in NHWC layout with OIHW weights.
+
+    Only what the paper's ResNet-derived chains need is supported: stride 1,
+    'same' padding for 3x3 kernels and no padding for 1x1 kernels, so the
+    spatial size of the output equals the input.
+    """
+
+    name: str
+    input_spec: TensorSpec  # (N, H, W, C_in)
+    weight: TensorSpec  # (C_out, C_in, kH, kW)
+
+    def __post_init__(self) -> None:
+        if self.input_spec.rank != 4:
+            raise ValueError("Conv2d input must be NHWC rank-4")
+        if self.weight.rank != 4:
+            raise ValueError("Conv2d weight must be OIHW rank-4")
+        if self.input_spec.shape[3] != self.weight.shape[1]:
+            raise ValueError(
+                "Conv2d channel mismatch: input C="
+                f"{self.input_spec.shape[3]} vs weight I={self.weight.shape[1]}"
+            )
+
+    @property
+    def batch(self) -> int:
+        return self.input_spec.shape[0]
+
+    @property
+    def height(self) -> int:
+        return self.input_spec.shape[1]
+
+    @property
+    def width(self) -> int:
+        return self.input_spec.shape[2]
+
+    @property
+    def in_channels(self) -> int:
+        return self.input_spec.shape[3]
+
+    @property
+    def out_channels(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def kernel_size(self) -> Tuple[int, int]:
+        return (self.weight.shape[2], self.weight.shape[3])
+
+    @property
+    def inputs(self) -> List[TensorSpec]:
+        return [self.input_spec, self.weight]
+
+    @property
+    def output(self) -> TensorSpec:
+        return TensorSpec(
+            name=f"{self.name}.out",
+            shape=(self.batch, self.height, self.width, self.out_channels),
+            dtype=self.input_spec.dtype,
+        )
+
+    @property
+    def is_compute_intensive(self) -> bool:
+        return True
+
+    def flops(self) -> int:
+        kh, kw = self.kernel_size
+        output_positions = self.batch * self.height * self.width
+        return 2 * output_positions * self.out_channels * self.in_channels * kh * kw
+
+    def im2col_gemm_dims(self) -> Tuple[int, int, int]:
+        """(M, N, K) of the GEMM this convolution lowers to via im2col.
+
+        M = batch*H*W output positions, N = output channels and
+        K = input channels * kernel area.
+        """
+        kh, kw = self.kernel_size
+        return (
+            self.batch * self.height * self.width,
+            self.out_channels,
+            self.in_channels * kh * kw,
+        )

@@ -1,0 +1,98 @@
+"""Tensor metadata.
+
+FlashFuser never materialises model weights during search — it only reasons
+about shapes and byte sizes — so :class:`TensorSpec` carries exactly that
+metadata.  The functional executor in :mod:`repro.sim.executor` attaches real
+NumPy arrays separately.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+
+class DType(Enum):
+    """Element datatypes understood by the compiler."""
+
+    FP16 = "fp16"
+    BF16 = "bf16"
+    FP32 = "fp32"
+    INT8 = "int8"
+
+    @property
+    def itemsize(self) -> int:
+        """Width of one element in bytes."""
+        return _ITEMSIZE[self]
+
+    @property
+    def numpy_name(self) -> str:
+        """NumPy dtype string used by the functional executor."""
+        return _NUMPY_NAME[self]
+
+
+_ITEMSIZE = {
+    DType.FP16: 2,
+    DType.BF16: 2,
+    DType.FP32: 4,
+    DType.INT8: 1,
+}
+
+_NUMPY_NAME = {
+    DType.FP16: "float16",
+    DType.BF16: "float32",  # NumPy has no bf16; emulate with fp32
+    DType.FP32: "float32",
+    DType.INT8: "int8",
+}
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape-and-dtype description of one tensor.
+
+    Parameters
+    ----------
+    name:
+        Unique tensor name within its graph.
+    shape:
+        Tensor shape as a tuple of positive integers.
+    dtype:
+        Element datatype (defaults to FP16, the paper's evaluation precision).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: DType = DType.FP16
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        if not self.shape:
+            raise ValueError("tensor shape must have at least one dimension")
+        if any(dim <= 0 for dim in self.shape):
+            raise ValueError(f"tensor dimensions must be positive: {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count."""
+        return math.prod(self.shape)
+
+    @property
+    def num_bytes(self) -> int:
+        """Total size in bytes."""
+        return self.num_elements * self.dtype.itemsize
+
+    def with_name(self, name: str) -> "TensorSpec":
+        """Return a copy of this spec under a different name."""
+        return TensorSpec(name=name, shape=self.shape, dtype=self.dtype)
+
+    def with_shape(self, shape: Tuple[int, ...]) -> "TensorSpec":
+        """Return a copy of this spec with a different shape."""
+        return TensorSpec(name=self.name, shape=shape, dtype=self.dtype)

@@ -1,0 +1,257 @@
+"""Concrete workload configurations from the paper's evaluation.
+
+Three suites (Tables V, VI, VII) plus the model zoo used by Table I and the
+end-to-end experiments (Figures 16-17).
+
+* Table VII — GEMM chains G1-G10 (DLRM, GPT, OPT, BERT, Performer sizes),
+  GEMM1 is (m x n x k) and GEMM2 is (m x l x n).
+* Table VI — gated FFN chains S1-S8 (LLaMA / Qwen family sizes).
+* Table V — convolution chains C1-C8 (ResNet block shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.ir.builders import build_conv_chain, build_gated_ffn, build_standard_ffn
+from repro.ir.graph import ChainKind, GemmChainSpec, OperatorGraph
+from repro.ir.ops import ActivationKind
+
+
+@dataclass(frozen=True)
+class GemmChainConfig:
+    """One row of Table VI or VII."""
+
+    workload_id: str
+    m: int
+    n: int
+    k: int
+    l: int
+    model: str
+    gated: bool = False
+
+    def to_spec(self) -> GemmChainSpec:
+        """Materialise the canonical chain spec for this configuration."""
+        builder = build_gated_ffn if self.gated else build_standard_ffn
+        activation = ActivationKind.SILU if self.gated else ActivationKind.RELU
+        _, spec = builder(
+            self.workload_id, self.m, self.n, self.k, self.l, activation=activation
+        )
+        return spec
+
+    def to_graph(self) -> OperatorGraph:
+        """Materialise the operator graph for this configuration."""
+        builder = build_gated_ffn if self.gated else build_standard_ffn
+        activation = ActivationKind.SILU if self.gated else ActivationKind.RELU
+        graph, _ = builder(
+            self.workload_id, self.m, self.n, self.k, self.l, activation=activation
+        )
+        return graph
+
+
+@dataclass(frozen=True)
+class ConvChainConfig:
+    """One row of Table V."""
+
+    workload_id: str
+    in_channels: int
+    height: int
+    width: int
+    out_channels1: int
+    out_channels2: int
+    kernel1: int
+    kernel2: int
+    batch: int = 1
+
+    def to_spec(self) -> GemmChainSpec:
+        """Lower the conv chain to the canonical GEMM chain spec."""
+        _, spec = build_conv_chain(
+            self.workload_id,
+            batch=self.batch,
+            in_channels=self.in_channels,
+            height=self.height,
+            width=self.width,
+            out_channels1=self.out_channels1,
+            out_channels2=self.out_channels2,
+            kernel1=self.kernel1,
+            kernel2=self.kernel2,
+        )
+        return spec
+
+    def to_graph(self) -> OperatorGraph:
+        """Materialise the convolution operator graph."""
+        graph, _ = build_conv_chain(
+            self.workload_id,
+            batch=self.batch,
+            in_channels=self.in_channels,
+            height=self.height,
+            width=self.width,
+            out_channels1=self.out_channels1,
+            out_channels2=self.out_channels2,
+            kernel1=self.kernel1,
+            kernel2=self.kernel2,
+        )
+        return graph
+
+
+# --------------------------------------------------------------------- #
+# Table VII: GEMM chains (standard FFN shape).
+# --------------------------------------------------------------------- #
+GEMM_CHAIN_CONFIGS: Dict[str, GemmChainConfig] = {
+    cfg.workload_id: cfg
+    for cfg in [
+        GemmChainConfig("G1", 128, 512, 32, 256, "DLRM-0"),
+        GemmChainConfig("G2", 128, 256, 512, 64, "DLRM-1"),
+        GemmChainConfig("G3", 128, 512, 416, 256, "DLRM-2"),
+        GemmChainConfig("G4", 128, 3072, 768, 768, "GPT-2-Small"),
+        GemmChainConfig("G5", 128, 16384, 4096, 4096, "GPT-6.7B"),
+        GemmChainConfig("G6", 128, 4096, 1024, 1024, "GPT2-medium"),
+        GemmChainConfig("G7", 128, 768, 768, 768, "nlp_gpt3_base"),
+        GemmChainConfig("G8", 128, 8192, 2048, 2048, "OPT-1.3B"),
+        GemmChainConfig("G9", 128, 2048, 512, 512, "Performer"),
+        GemmChainConfig("G10", 128, 1536, 384, 384, "BERT"),
+    ]
+}
+
+# --------------------------------------------------------------------- #
+# Table VI: gated FFN chains.
+# --------------------------------------------------------------------- #
+GATED_FFN_CONFIGS: Dict[str, GemmChainConfig] = {
+    cfg.workload_id: cfg
+    for cfg in [
+        GemmChainConfig("S1", 128, 8192, 3072, 3072, "llama-3.2-3B", gated=True),
+        GemmChainConfig("S2", 128, 5632, 2048, 2048, "llama-1.1B", gated=True),
+        GemmChainConfig("S3", 128, 11008, 4096, 4096, "Llama-2-7b", gated=True),
+        GemmChainConfig("S4", 128, 8192, 2048, 2048, "Qwen2.5-2.1B", gated=True),
+        GemmChainConfig("S5", 128, 11008, 2048, 2048, "Qwen2.5-3B", gated=True),
+        GemmChainConfig("S6", 128, 8960, 1536, 1536, "Qwen2.5-1.5B", gated=True),
+        GemmChainConfig("S7", 128, 9728, 2560, 2560, "Qwen3-4B", gated=True),
+        GemmChainConfig("S8", 128, 3072, 1024, 1024, "Qwen3-0.6B", gated=True),
+    ]
+}
+
+# --------------------------------------------------------------------- #
+# Table V: convolution chains (ResNet blocks).
+# --------------------------------------------------------------------- #
+CONV_CHAIN_CONFIGS: Dict[str, ConvChainConfig] = {
+    cfg.workload_id: cfg
+    for cfg in [
+        ConvChainConfig("C1", 64, 56, 56, 256, 64, 1, 1),
+        ConvChainConfig("C2", 128, 28, 28, 512, 128, 1, 1),
+        ConvChainConfig("C3", 256, 14, 14, 1024, 256, 1, 1),
+        ConvChainConfig("C4", 512, 7, 7, 2048, 512, 1, 1),
+        ConvChainConfig("C5", 64, 56, 56, 64, 256, 3, 1),
+        ConvChainConfig("C6", 128, 28, 28, 128, 512, 3, 1),
+        ConvChainConfig("C7", 256, 14, 14, 256, 1024, 3, 1),
+        ConvChainConfig("C8", 512, 7, 7, 512, 2048, 3, 1),
+    ]
+}
+
+WorkloadConfig = Union[GemmChainConfig, ConvChainConfig]
+
+_ALL_SUITES: Dict[str, Dict[str, WorkloadConfig]] = {
+    "gemm": dict(GEMM_CHAIN_CONFIGS),
+    "gated_ffn": dict(GATED_FFN_CONFIGS),
+    "conv": dict(CONV_CHAIN_CONFIGS),
+}
+
+
+def list_workloads(suite: str | None = None) -> List[str]:
+    """List workload identifiers, optionally restricted to one suite.
+
+    ``suite`` is one of ``"gemm"`` (G1-G10), ``"gated_ffn"`` (S1-S8) or
+    ``"conv"`` (C1-C8); ``None`` lists everything.
+    """
+    if suite is None:
+        ids: List[str] = []
+        for table in _ALL_SUITES.values():
+            ids.extend(table)
+        return ids
+    if suite not in _ALL_SUITES:
+        raise KeyError(f"unknown workload suite {suite!r}")
+    return list(_ALL_SUITES[suite])
+
+
+def get_workload(workload_id: str) -> WorkloadConfig:
+    """Return the configuration for one workload identifier (e.g. ``"G5"``)."""
+    for table in _ALL_SUITES.values():
+        if workload_id in table:
+            return table[workload_id]
+    raise KeyError(f"unknown workload {workload_id!r}")
+
+
+def get_chain_spec(workload_id: str, m: int | None = None) -> GemmChainSpec:
+    """Return the canonical chain spec for a workload, optionally rescaling M."""
+    spec = get_workload(workload_id).to_spec()
+    if m is not None:
+        spec = spec.scaled(m=m)
+    return spec
+
+
+# --------------------------------------------------------------------- #
+# Model zoo for Table I and the end-to-end experiments.
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ModelConfig:
+    """Transformer model description used by the end-to-end latency model.
+
+    ``ffn_kind`` selects standard vs gated FFN; ``intermediate`` is the FFN
+    expansion size (per branch for gated FFNs).
+    """
+
+    name: str
+    num_layers: int
+    hidden: int
+    intermediate: int
+    num_heads: int
+    ffn_kind: ChainKind = ChainKind.STANDARD_FFN
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.num_heads
+
+    def ffn_chain(self, seq_len: int, batch: int = 1) -> GemmChainSpec:
+        """The FFN GEMM chain of one layer at the given sequence length."""
+        m = seq_len * batch
+        gated = self.ffn_kind is ChainKind.GATED_FFN
+        builder = build_gated_ffn if gated else build_standard_ffn
+        activation = ActivationKind.SILU if gated else ActivationKind.RELU
+        _, spec = builder(
+            f"{self.name}.ffn",
+            m=m,
+            n=self.intermediate,
+            k=self.hidden,
+            l=self.hidden,
+            activation=activation,
+        )
+        return spec
+
+
+MODEL_ZOO: Dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in [
+        ModelConfig("GPT-6.7B", 32, 4096, 16384, 32),
+        ModelConfig("LLaMA-1B", 22, 2048, 5632, 32, ChainKind.GATED_FFN),
+        ModelConfig("OPT-1.3B", 24, 2048, 8192, 32),
+        ModelConfig("BERT", 12, 768, 3072, 12),
+        ModelConfig("GPT-2", 12, 768, 3072, 12),
+        ModelConfig("GPT-2-Small", 12, 768, 3072, 12),
+        ModelConfig("llama-3.2-3B", 28, 3072, 8192, 24, ChainKind.GATED_FFN),
+        ModelConfig("Llama-2-7b", 32, 4096, 11008, 32, ChainKind.GATED_FFN),
+        ModelConfig("Qwen2.5-1.5B", 28, 1536, 8960, 12, ChainKind.GATED_FFN),
+        ModelConfig("Qwen2.5-3B", 36, 2048, 11008, 16, ChainKind.GATED_FFN),
+        ModelConfig("Qwen3-4B", 36, 2560, 9728, 32, ChainKind.GATED_FFN),
+        ModelConfig("Qwen3-0.6B", 28, 1024, 3072, 16, ChainKind.GATED_FFN),
+        ModelConfig("Llama3-70B", 80, 8192, 28672, 64, ChainKind.GATED_FFN),
+        ModelConfig("Qwen2.5-14B", 48, 5120, 13824, 40, ChainKind.GATED_FFN),
+        ModelConfig("Qwen2.5-32B", 64, 5120, 27648, 40, ChainKind.GATED_FFN),
+    ]
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Return one model configuration from the zoo."""
+    if name not in MODEL_ZOO:
+        raise KeyError(f"unknown model {name!r}")
+    return MODEL_ZOO[name]

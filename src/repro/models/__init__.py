@@ -1,0 +1,24 @@
+"""End-to-end model layer: transformer timing, roofline, inference latency.
+
+These modules stand in for the paper's end-to-end measurements (PyTorch
+profiling for Table I, SGLang serving for Figure 17, large-model roofline and
+batch sweeps for Figure 16): a transformer layer is decomposed into its
+kernels, each kernel is charged on the same performance simulator the rest of
+the reproduction uses, and FlashFuser's fused FFN kernels can be swapped in
+to obtain end-to-end speedups.
+"""
+
+from repro.models.inference import E2EConfig, InferenceLatencyModel, InferenceResult
+from repro.models.roofline import RooflinePoint, roofline_analysis, roofline_performance
+from repro.models.transformer import LayerTimeBreakdown, TransformerTimingModel
+
+__all__ = [
+    "E2EConfig",
+    "InferenceLatencyModel",
+    "InferenceResult",
+    "RooflinePoint",
+    "roofline_analysis",
+    "roofline_performance",
+    "LayerTimeBreakdown",
+    "TransformerTimingModel",
+]

@@ -1,0 +1,122 @@
+"""End-to-end inference latency model (the SGLang substitute).
+
+The end-to-end experiments (Figures 16b and 17) compare a serving framework
+whose FFN layers run as standard unfused kernels against the same framework
+with FlashFuser's fused FFN kernels dropped in.  Everything outside the FFN
+(attention, norms, residuals, scheduler overhead) is identical between the
+two, which is why the end-to-end speedup is an Amdahl's-law combination of
+the FFN time share and the FFN kernel speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.api import FlashFuser
+from repro.hardware.spec import HardwareSpec, h100_spec
+from repro.ir.workloads import ModelConfig, get_model
+from repro.models.transformer import TransformerTimingModel
+
+
+@dataclass(frozen=True)
+class E2EConfig:
+    """One end-to-end measurement point."""
+
+    model_name: str
+    seq_len: int = 256
+    batch: int = 1
+
+    @property
+    def tokens(self) -> int:
+        """Total tokens processed per forward pass."""
+        return self.seq_len * self.batch
+
+
+@dataclass
+class InferenceResult:
+    """Baseline-vs-FlashFuser latency of one configuration."""
+
+    config: E2EConfig
+    baseline_ms: float
+    flashfuser_ms: float
+    ffn_kernel_speedup: float
+    ffn_time_fraction: float
+
+    @property
+    def e2e_speedup(self) -> float:
+        """End-to-end speedup from swapping in the fused FFN kernels."""
+        return self.baseline_ms / self.flashfuser_ms if self.flashfuser_ms > 0 else 0.0
+
+
+class InferenceLatencyModel:
+    """Serving-framework latency with and without FlashFuser FFN kernels.
+
+    Parameters
+    ----------
+    device:
+        Hardware model.
+    framework_overhead_fraction:
+        Scheduler/runtime overhead added on top of kernel time (SGLang's
+        batching and sampling machinery), applied equally to both systems.
+    """
+
+    def __init__(
+        self,
+        device: Optional[HardwareSpec] = None,
+        framework_overhead_fraction: float = 0.05,
+        compiler: Optional[FlashFuser] = None,
+    ) -> None:
+        self.device = device or h100_spec()
+        self.framework_overhead_fraction = framework_overhead_fraction
+        self.compiler = compiler or FlashFuser(device=self.device)
+        self._ffn_cache: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+    def evaluate(self, config: E2EConfig) -> InferenceResult:
+        """Latency of one model/sequence/batch point under both systems."""
+        model = get_model(config.model_name)
+        timing = TransformerTimingModel(model, device=self.device)
+
+        baseline_layer = timing.layer_breakdown(config.seq_len, config.batch)
+        fused_ffn_us = self._fused_ffn_time_us(model, config)
+        flashfuser_layer = timing.layer_breakdown(
+            config.seq_len, config.batch, ffn_time_us=fused_ffn_us
+        )
+
+        overhead = 1.0 + self.framework_overhead_fraction
+        baseline_ms = baseline_layer.total_us * model.num_layers * overhead / 1e3
+        flashfuser_ms = flashfuser_layer.total_us * model.num_layers * overhead / 1e3
+
+        ffn_speedup = (
+            baseline_layer.ffn_us / fused_ffn_us if fused_ffn_us > 0 else float("inf")
+        )
+        return InferenceResult(
+            config=config,
+            baseline_ms=baseline_ms,
+            flashfuser_ms=flashfuser_ms,
+            ffn_kernel_speedup=ffn_speedup,
+            ffn_time_fraction=baseline_layer.ffn_fraction,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _fused_ffn_time_us(self, model: ModelConfig, config: E2EConfig) -> float:
+        """Simulated time of the FlashFuser-compiled FFN chain (cached)."""
+        chain = model.ffn_chain(config.seq_len, config.batch)
+        key = f"{model.name}:{chain.m}"
+        if key not in self._ffn_cache:
+            try:
+                compiled = self.compiler.compile(chain)
+                self._ffn_cache[key] = compiled.time_us
+            except Exception:
+                # If no fused plan exists (it always should), fall back to
+                # the unfused FFN time so the comparison degrades gracefully.
+                timing = TransformerTimingModel(model, device=self.device)
+                self._ffn_cache[key] = timing.simulator.simulate_kernels(
+                    timing.ffn_kernels(config.seq_len, config.batch)
+                ).time_us
+        return self._ffn_cache[key]

@@ -1,0 +1,65 @@
+"""Roofline analysis (Figure 16a).
+
+The roofline model bounds attainable performance by
+``min(peak_compute, arithmetic_intensity * memory_bandwidth)``.  Figure 16a
+places the FFN kernels of large models on this curve to show they are
+compute-bound at large batch sizes, which explains why the kernel-level
+speedup shrinks there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.hardware.spec import HardwareSpec, h100_spec
+from repro.ir.graph import GemmChainSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed on the roofline."""
+
+    name: str
+    arithmetic_intensity: float
+    attainable_tflops: float
+    compute_bound: bool
+
+
+def roofline_performance(
+    arithmetic_intensity: float,
+    device: Optional[HardwareSpec] = None,
+) -> float:
+    """Attainable TFLOPS at a given arithmetic intensity (FLOP/byte)."""
+    device = device or h100_spec()
+    if arithmetic_intensity < 0:
+        raise ValueError("arithmetic intensity must be non-negative")
+    memory_bound = arithmetic_intensity * device.global_bandwidth_gbps / 1e3
+    return min(device.peak_fp16_tflops, memory_bound)
+
+
+def ridge_point(device: Optional[HardwareSpec] = None) -> float:
+    """Arithmetic intensity at which compute and bandwidth rooflines meet."""
+    device = device or h100_spec()
+    return device.peak_fp16_tflops * 1e3 / device.global_bandwidth_gbps
+
+
+def roofline_analysis(
+    chains: Sequence[GemmChainSpec],
+    device: Optional[HardwareSpec] = None,
+) -> List[RooflinePoint]:
+    """Place each chain on the roofline using its fused-traffic intensity."""
+    device = device or h100_spec()
+    ridge = ridge_point(device)
+    points = []
+    for chain in chains:
+        intensity = chain.arithmetic_intensity()
+        points.append(
+            RooflinePoint(
+                name=chain.name,
+                arithmetic_intensity=intensity,
+                attainable_tflops=roofline_performance(intensity, device),
+                compute_bound=intensity >= ridge,
+            )
+        )
+    return points

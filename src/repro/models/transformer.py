@@ -1,0 +1,146 @@
+"""Transformer layer timing model.
+
+One transformer layer is decomposed into the kernels an inference framework
+launches: QKV projection, attention score/context GEMMs, output projection,
+the FFN GEMM chain, and the surrounding memory-bound operators (layer norms,
+residual adds, softmax).  Each kernel is charged on the performance
+simulator, which yields the per-component time breakdown behind Table I
+(FFN share of execution time) and the end-to-end models of Figures 16-17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.spec import HardwareSpec, h100_spec
+from repro.ir.graph import ChainKind
+from repro.ir.workloads import ModelConfig
+from repro.sim.engine import KernelLaunch, PerformanceSimulator
+
+
+@dataclass
+class LayerTimeBreakdown:
+    """Per-component time of one transformer layer, in microseconds."""
+
+    attention_us: float
+    ffn_us: float
+    other_us: float
+
+    @property
+    def total_us(self) -> float:
+        """Total layer time."""
+        return self.attention_us + self.ffn_us + self.other_us
+
+    @property
+    def ffn_fraction(self) -> float:
+        """Share of layer time spent in the FFN (Table I's metric)."""
+        return self.ffn_us / self.total_us if self.total_us > 0 else 0.0
+
+
+class TransformerTimingModel:
+    """Kernel-level timing of transformer inference.
+
+    Parameters
+    ----------
+    model:
+        Model architecture (hidden size, FFN size, layer count, ...).
+    device:
+        Hardware model.
+    simulator:
+        Simulator charged for every kernel; defaults to library-grade
+        (PyTorch-like) kernel efficiency, since Table I profiles standard
+        framework execution.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        device: Optional[HardwareSpec] = None,
+        simulator: Optional[PerformanceSimulator] = None,
+    ) -> None:
+        self.model = model
+        self.device = device or h100_spec()
+        self.simulator = simulator or PerformanceSimulator(
+            self.device,
+            compute_efficiency=0.45,
+            overlap=0.5,
+            launch_overhead_us=8.0,
+            memory_efficiency=0.65,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Kernel decompositions
+    # ------------------------------------------------------------------ #
+    def attention_kernels(self, seq_len: int, batch: int = 1) -> List[KernelLaunch]:
+        """Kernels of the attention block (projections + attention itself)."""
+        hidden = self.model.hidden
+        tokens = seq_len * batch
+        itemsize = 2
+        qkv_flops = 2 * tokens * hidden * 3 * hidden
+        qkv_bytes = (tokens * hidden + 3 * hidden * hidden + tokens * 3 * hidden) * itemsize
+        score_flops = 2 * batch * self.model.num_heads * seq_len * seq_len * self.model.head_dim
+        score_bytes = (2 * tokens * hidden + batch * self.model.num_heads * seq_len * seq_len) * itemsize
+        context_flops = score_flops
+        context_bytes = score_bytes
+        out_flops = 2 * tokens * hidden * hidden
+        out_bytes = (tokens * hidden * 2 + hidden * hidden) * itemsize
+        return [
+            KernelLaunch("qkv_proj", qkv_flops, qkv_bytes),
+            KernelLaunch("attn_score", score_flops, score_bytes),
+            KernelLaunch("attn_context", context_flops, context_bytes),
+            KernelLaunch("out_proj", out_flops, out_bytes),
+        ]
+
+    def ffn_kernels(self, seq_len: int, batch: int = 1) -> List[KernelLaunch]:
+        """Kernels of the FFN block under standard (unfused) execution."""
+        from repro.baselines.base import unfused_launches
+
+        chain = self.model.ffn_chain(seq_len, batch)
+        return unfused_launches(chain)
+
+    def other_kernels(self, seq_len: int, batch: int = 1) -> List[KernelLaunch]:
+        """Memory-bound glue: two layer norms and two residual adds."""
+        tokens = seq_len * batch
+        hidden_bytes = tokens * self.model.hidden * 2
+        return [
+            KernelLaunch("layernorm_1", tokens * self.model.hidden * 5, 2 * hidden_bytes),
+            KernelLaunch("residual_1", tokens * self.model.hidden, 3 * hidden_bytes),
+            KernelLaunch("layernorm_2", tokens * self.model.hidden * 5, 2 * hidden_bytes),
+            KernelLaunch("residual_2", tokens * self.model.hidden, 3 * hidden_bytes),
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Timings
+    # ------------------------------------------------------------------ #
+    def layer_breakdown(
+        self,
+        seq_len: int,
+        batch: int = 1,
+        ffn_time_us: Optional[float] = None,
+    ) -> LayerTimeBreakdown:
+        """Time breakdown of one layer.
+
+        ``ffn_time_us`` overrides the FFN component, which is how FlashFuser's
+        fused kernel time is substituted into the end-to-end model.
+        """
+        attention = self.simulator.simulate_kernels(self.attention_kernels(seq_len, batch))
+        other = self.simulator.simulate_kernels(self.other_kernels(seq_len, batch))
+        if ffn_time_us is None:
+            ffn = self.simulator.simulate_kernels(self.ffn_kernels(seq_len, batch)).time_us
+        else:
+            ffn = ffn_time_us
+        return LayerTimeBreakdown(
+            attention_us=attention.time_us,
+            ffn_us=ffn,
+            other_us=other.time_us,
+        )
+
+    def model_time_us(self, seq_len: int, batch: int = 1, ffn_time_us: Optional[float] = None) -> float:
+        """Total model latency (all layers)."""
+        layer = self.layer_breakdown(seq_len, batch, ffn_time_us=ffn_time_us)
+        return layer.total_us * self.model.num_layers
+
+    def ffn_time_percentage(self, seq_len: int, batch: int = 1) -> float:
+        """Percentage of execution time spent in FFN layers (Table I)."""
+        return self.layer_breakdown(seq_len, batch).ffn_fraction * 100.0

@@ -1,0 +1,30 @@
+"""Fusion search engine (Section IV-C).
+
+The search engine explores loop schedules x cluster geometries x tile sizes,
+prunes the space with Rules 1-5 (:mod:`repro.search.pruning`), ranks the
+survivors with the minimax bandwidth cost model
+(:mod:`repro.search.cost_model`) and profiles the top-K candidates on the
+performance simulator to pick the final plan
+(:mod:`repro.search.engine`, Algorithm 2).  The unpruned exhaustive search
+used for the Table VIII comparison lives in :mod:`repro.search.brute_force`.
+"""
+
+from repro.search.cost_model import CostBreakdown, CostModel
+from repro.search.engine import FusionCandidate, SearchEngine, SearchResult
+from repro.search.pruning import PruningRule, PruningStats, Pruner
+from repro.search.space import SearchSpace, initial_space_size
+from repro.search.brute_force import BruteForceSearch
+
+__all__ = [
+    "CostBreakdown",
+    "CostModel",
+    "FusionCandidate",
+    "SearchEngine",
+    "SearchResult",
+    "PruningRule",
+    "PruningStats",
+    "Pruner",
+    "SearchSpace",
+    "initial_space_size",
+    "BruteForceSearch",
+]

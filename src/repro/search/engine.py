@@ -1,0 +1,176 @@
+"""Fusion search algorithm (Algorithm 2).
+
+The engine enumerates candidates, prunes them with Rules 1-5, analyses the
+survivors with the dataflow analyzer, ranks them with the minimax cost model
+while maintaining a top-K list, and finally "profiles" the top-K candidates —
+on real hardware this is an on-device measurement; in this reproduction it is
+the cycle-accurate-ish performance simulator (or any callable the caller
+provides) — to select the final execution plan.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.dataflow.analyzer import DataflowAnalyzer, DataflowResult
+from repro.hardware.spec import HardwareSpec
+from repro.search.cost_model import CostModel
+from repro.search.pruning import Pruner, PruningStats
+from repro.search.space import FusionCandidate, SearchSpace
+from repro.ir.graph import GemmChainSpec
+
+#: A profiler maps an analysed candidate to a measured/simulated time in us.
+ProfilerFn = Callable[[DataflowResult], float]
+
+
+@dataclass
+class RankedPlan:
+    """One analysed candidate together with its predicted and profiled cost."""
+
+    candidate: FusionCandidate
+    result: DataflowResult
+    predicted_cost_us: float
+    profiled_time_us: Optional[float] = None
+
+    @property
+    def best_known_time_us(self) -> float:
+        """Profiled time when available, predicted cost otherwise."""
+        return (
+            self.profiled_time_us
+            if self.profiled_time_us is not None
+            else self.predicted_cost_us
+        )
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one fusion search."""
+
+    chain: GemmChainSpec
+    best: Optional[RankedPlan]
+    top_k: List[RankedPlan]
+    pruning_stats: PruningStats
+    candidates_enumerated: int
+    candidates_analyzed: int
+    search_time_s: float
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether any feasible fused plan was found."""
+        return self.best is not None
+
+    def best_result(self) -> DataflowResult:
+        """The dataflow analysis of the selected plan."""
+        if self.best is None:
+            raise RuntimeError("search found no feasible fused plan")
+        return self.best.result
+
+
+class SearchEngine:
+    """FlashFuser's fusion search engine.
+
+    Parameters
+    ----------
+    device:
+        Target hardware.
+    top_k:
+        Number of candidates kept for final profiling; the paper selects 11
+        (Figure 12b).
+    include_dsm:
+        Whether DSM participates in spilling and cluster geometries are
+        explored.  Disabling this reproduces SMEM-only prior work.
+    profiler:
+        Optional callable returning a measured/simulated time for a
+        candidate; when omitted the cost model's prediction ranks the top-K.
+    space:
+        Candidate space (defaults to power-of-two tiles up to 256).
+    require_feasible:
+        Drop candidates whose persistent intermediate spills to global
+        memory (the definition of a fusion failure).
+    """
+
+    def __init__(
+        self,
+        device: HardwareSpec,
+        top_k: int = 11,
+        include_dsm: bool = True,
+        profiler: Optional[ProfilerFn] = None,
+        space: Optional[SearchSpace] = None,
+        cost_model: Optional[CostModel] = None,
+        require_feasible: bool = True,
+        max_candidates: Optional[int] = None,
+    ) -> None:
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.device = device
+        self.top_k = top_k
+        self.include_dsm = include_dsm and device.has_dsm
+        self.profiler = profiler
+        self.space = space or SearchSpace(device, include_clusters=self.include_dsm)
+        self.cost_model = cost_model or CostModel(device)
+        self.analyzer = DataflowAnalyzer(device, include_dsm=self.include_dsm)
+        self.require_feasible = require_feasible
+        self.max_candidates = max_candidates
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2
+    # ------------------------------------------------------------------ #
+    def search(self, chain: GemmChainSpec) -> SearchResult:
+        """Find the best fused execution plan for ``chain``."""
+        start = time.perf_counter()
+        pruner = Pruner(self.device, include_dsm=self.include_dsm)
+
+        enumerated = 0
+        analyzed = 0
+        # Max-heap by negative cost so the worst of the current top-K is on top.
+        heap: List[Tuple[float, int, RankedPlan]] = []
+        counter = 0
+
+        candidates = self.space.candidates(chain)
+        for candidate in pruner.prune(candidates):
+            enumerated += 1
+            if self.max_candidates is not None and analyzed >= self.max_candidates:
+                continue
+            result = self.analyzer.analyze(
+                chain,
+                candidate.schedule,
+                candidate.tile,
+                candidate.geometry,
+                gated_sequential=candidate.gated_sequential,
+            )
+            analyzed += 1
+            if self.require_feasible and not result.feasible:
+                continue
+            cost = self.cost_model.evaluate(result)
+            plan = RankedPlan(candidate=candidate, result=result, predicted_cost_us=cost)
+            counter += 1
+            if len(heap) < self.top_k:
+                heapq.heappush(heap, (-cost, counter, plan))
+            elif -heap[0][0] > cost:
+                heapq.heapreplace(heap, (-cost, counter, plan))
+
+        top_k = sorted((entry[2] for entry in heap), key=lambda p: p.predicted_cost_us)
+
+        # Final profiling of the top-K candidates (on-device measurement in
+        # the paper, simulator here).
+        if self.profiler is not None:
+            for plan in top_k:
+                plan.profiled_time_us = self.profiler(plan.result)
+            top_k.sort(key=lambda p: p.best_known_time_us)
+
+        best = top_k[0] if top_k else None
+        elapsed = time.perf_counter() - start
+        stats = pruner.stats
+        stats.initial = max(stats.initial, enumerated)
+        return SearchResult(
+            chain=chain,
+            best=best,
+            top_k=top_k,
+            pruning_stats=stats,
+            candidates_enumerated=stats.initial,
+            candidates_analyzed=analyzed,
+            search_time_s=elapsed,
+        )

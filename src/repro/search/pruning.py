@@ -1,0 +1,250 @@
+"""Pruning rules (Section IV-C2).
+
+Five rules cut the search space before any candidate reaches the dataflow
+analyzer.  Rule 1 (divisible tile sizes) is inherited from prior work
+(MCFuser); Rules 2-5 are specific to the cluster-expanded space:
+
+* **Rule 1 — divisible tile sizes**: block tiles are MMA-granular and the
+  cluster tile divides the problem extents evenly.
+* **Rule 2 — cluster size constraint**: the per-GEMM product of cluster
+  dimensions respects the hardware maximum (16 blocks on H100); both GEMMs
+  share one cluster shape by construction of
+  :class:`~repro.dsm_comm.geometry.ClusterGeometry`.
+* **Rule 3 — activation constraint**: the accumulation dimension of the
+  first GEMM (k) must be fully reduced before the activation runs — k is
+  the innermost temporal loop, or, if spatial, one cluster covers its whole
+  extent (so the all_exchange finishes the reduction on chip).
+* **Rule 4 — dependency constraint**: a spatial split of L across clusters
+  would require every cluster to see the full intermediate C, which cannot
+  be communicated between clusters; L may be spatial only if a single
+  cluster tile spans the whole L extent.
+* **Rule 5 — memory capacity limit**: the persistent intermediate must fit
+  within the on-chip spill budget (registers + SMEM + DSM of the chosen
+  cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.dataflow.footprint import reused_tensor_footprint
+from repro.dataflow.resource_map import default_budgets
+from repro.hardware.spec import HardwareSpec
+from repro.search.space import FusionCandidate
+
+
+class PruningRule(Enum):
+    """The five rules of Section IV-C2, in application order."""
+
+    DIVISIBLE_TILES = "rule1_divisible_tiles"
+    CLUSTER_SIZE = "rule2_cluster_size"
+    ACTIVATION = "rule3_activation"
+    DEPENDENCY = "rule4_dependency"
+    MEMORY_CAPACITY = "rule5_memory_capacity"
+
+
+@dataclass
+class PruningStats:
+    """Counts of candidates surviving each rule (Table III)."""
+
+    initial: int = 0
+    surviving: Dict[PruningRule, int] = field(default_factory=dict)
+
+    def record(self, rule: PruningRule, count: int) -> None:
+        """Record the number of candidates alive after ``rule``."""
+        self.surviving[rule] = count
+
+    def reduction_rate(self, rule: PruningRule) -> float:
+        """Fractional reduction achieved by ``rule`` relative to its input."""
+        rules = list(PruningRule)
+        index = rules.index(rule)
+        before = self.initial if index == 0 else self.surviving[rules[index - 1]]
+        after = self.surviving[rule]
+        if before == 0:
+            return 0.0
+        return 1.0 - after / before
+
+    @property
+    def final(self) -> int:
+        """Candidates alive after the full cascade."""
+        if not self.surviving:
+            return self.initial
+        return self.surviving[list(PruningRule)[-1]]
+
+    def total_reduction(self) -> float:
+        """Overall reduction rate of the cascade."""
+        if self.initial == 0:
+            return 0.0
+        return 1.0 - self.final / self.initial
+
+    def as_rows(self) -> List[Tuple[str, int, float]]:
+        """Rows of Table III: (step name, candidate count, reduction rate)."""
+        rows: List[Tuple[str, int, float]] = [("Original Space", self.initial, 0.0)]
+        for rule in PruningRule:
+            if rule in self.surviving:
+                rows.append(
+                    (f"+ {rule.value}", self.surviving[rule], self.reduction_rate(rule))
+                )
+        return rows
+
+
+class Pruner:
+    """Apply the pruning cascade to candidates and keep per-rule statistics.
+
+    Parameters
+    ----------
+    device:
+        Hardware spec used for cluster limits and capacity budgets.
+    include_dsm:
+        Whether the DSM tier counts towards the Rule 5 capacity budget
+        (``False`` reproduces the prior-work, SMEM-only space).
+    """
+
+    def __init__(self, device: HardwareSpec, include_dsm: bool = True) -> None:
+        self.device = device
+        self.include_dsm = include_dsm and device.has_dsm
+        self.stats = PruningStats()
+        # On-chip capacity per cluster size is a pure function of the
+        # hardware; cache it because Rule 5 runs for every candidate.
+        self._capacity_cache: Dict[Tuple[int, bool], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Individual rules
+    # ------------------------------------------------------------------ #
+    #: Maximum padding waste tolerated for extents that no MMA-granular tile
+    #: divides exactly (e.g. the 196-row M of the C3/C4 conv chains).
+    MAX_PADDING_WASTE = 0.125
+
+    def rule1_divisible_tiles(self, candidate: FusionCandidate) -> bool:
+        """Rule 1: MMA-granular block tiles that evenly divide the problem.
+
+        Extents that are themselves multiples of the MMA granularity must be
+        divided exactly; irregular extents are handled by padding, with the
+        waste capped at :data:`MAX_PADDING_WASTE`.
+        """
+        limits = self.device.cluster_limits
+        tile = candidate.tile
+        if not tile.respects_mma(limits):
+            return False
+        if not tile.fits_problem(candidate.chain):
+            return False
+        mma = limits.mma_tile[0]
+        sizes = candidate.chain.dimension_sizes()
+        cluster = candidate.tile.cluster_tile(candidate.geometry)
+        for dim, extent in sizes.items():
+            if extent % cluster[dim] == 0:
+                continue
+            if extent % mma == 0:
+                # A regular extent must be tiled exactly.
+                return False
+            padded = -(-extent // cluster[dim]) * cluster[dim]
+            if (padded - extent) / padded > self.MAX_PADDING_WASTE:
+                return False
+        return True
+
+    def rule2_cluster_size(self, candidate: FusionCandidate) -> bool:
+        """Rule 2: the cluster shape respects the hardware block limit."""
+        if not self.include_dsm:
+            return candidate.geometry.blocks_per_cluster == 1
+        return candidate.geometry.is_valid(self.device.cluster_limits)
+
+    def rule3_activation(self, candidate: FusionCandidate) -> bool:
+        """Rule 3: GEMM0's reduction finishes before the activation runs."""
+        schedule = candidate.schedule
+        chain = candidate.chain
+        if schedule.is_temporal("k"):
+            return schedule.innermost() == "k"
+        # k is spatial: the intra-cluster all_exchange completes the
+        # reduction only if one cluster tile spans the whole K extent.
+        covered = candidate.tile.block_k * candidate.geometry.cls_k
+        return covered >= chain.k
+
+    def rule4_dependency(self, candidate: FusionCandidate) -> bool:
+        """Rule 4: a spatial L split must not cross cluster boundaries.
+
+        Blocks in different clusters cannot exchange the intermediate C, so a
+        spatial L partition is only legal when one cluster tile spans the
+        whole L extent.  Without DSM the same argument applies to a spatial
+        split of the GEMM1 reduction dimension N: prior-work kernels have no
+        cross-block reduction path, so N may be spatial only if a single
+        block covers it.
+        """
+        schedule = candidate.schedule
+        if schedule.is_spatial("l"):
+            covered = candidate.tile.block_l * candidate.geometry.cls_l
+            if covered < candidate.chain.l:
+                return False
+        if not self.include_dsm and schedule.is_spatial("n"):
+            if candidate.tile.block_n < candidate.chain.n:
+                return False
+        return True
+
+    def rule5_memory_capacity(self, candidate: FusionCandidate) -> bool:
+        """Rule 5: the persistent intermediate fits the on-chip budget."""
+        reused = reused_tensor_footprint(
+            candidate.chain, candidate.schedule, candidate.tile, candidate.geometry
+        )
+        on_chip = self._on_chip_capacity(
+            candidate.geometry.blocks_per_cluster if self.include_dsm else 1,
+            self.include_dsm and candidate.geometry.uses_dsm,
+        )
+        return reused.footprint_bytes <= on_chip
+
+    def _on_chip_capacity(self, cluster_blocks: int, include_dsm: bool) -> float:
+        """Total on-chip spill budget for one cluster size (cached)."""
+        key = (cluster_blocks, include_dsm)
+        if key not in self._capacity_cache:
+            hierarchy = self.device.memory_hierarchy_for_cluster(cluster_blocks)
+            budgets = default_budgets(hierarchy, include_dsm=include_dsm)
+            self._capacity_cache[key] = sum(
+                budget.capacity_bytes
+                for budget in budgets
+                if budget.capacity_bytes != float("inf")
+            )
+        return self._capacity_cache[key]
+
+    # ------------------------------------------------------------------ #
+    # Cascade application
+    # ------------------------------------------------------------------ #
+    def rules(self) -> List[Tuple[PruningRule, Callable[[FusionCandidate], bool]]]:
+        """The rules in application order."""
+        return [
+            (PruningRule.DIVISIBLE_TILES, self.rule1_divisible_tiles),
+            (PruningRule.CLUSTER_SIZE, self.rule2_cluster_size),
+            (PruningRule.ACTIVATION, self.rule3_activation),
+            (PruningRule.DEPENDENCY, self.rule4_dependency),
+            (PruningRule.MEMORY_CAPACITY, self.rule5_memory_capacity),
+        ]
+
+    def passes(self, candidate: FusionCandidate) -> bool:
+        """Whether a candidate survives the full cascade."""
+        return all(rule(candidate) for _, rule in self.rules())
+
+    def failed_rule(self, candidate: FusionCandidate) -> Optional[PruningRule]:
+        """The first rule a candidate fails, or ``None`` if it survives."""
+        for rule_id, rule in self.rules():
+            if not rule(candidate):
+                return rule_id
+        return None
+
+    def prune(self, candidates: Iterable[FusionCandidate]) -> Iterator[FusionCandidate]:
+        """Yield surviving candidates while accumulating Table III counts."""
+        counts = {rule_id: 0 for rule_id, _ in self.rules()}
+        initial = 0
+        for candidate in candidates:
+            initial += 1
+            alive = True
+            for rule_id, rule in self.rules():
+                if alive and rule(candidate):
+                    counts[rule_id] += 1
+                else:
+                    alive = False
+            if alive:
+                yield candidate
+        self.stats = PruningStats(initial=initial, surviving=dict(counts))
+
+    def prune_list(self, candidates: Iterable[FusionCandidate]) -> List[FusionCandidate]:
+        """Materialised version of :meth:`prune`."""
+        return list(self.prune(candidates))

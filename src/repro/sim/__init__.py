@@ -1,0 +1,30 @@
+"""GPU simulator: the reproduction's stand-in for the H100 testbed.
+
+Three pieces:
+
+* :mod:`repro.sim.engine` — an analytical performance simulator that turns a
+  dataflow analysis (per-level traffic volumes plus the dsm_comm plan) into
+  an execution time, modelling wave quantisation, compute/memory overlap and
+  kernel launch overheads.  It plays the role of on-device profiling for the
+  search engine's top-K candidates and of kernel measurement for the
+  evaluation figures.
+* :mod:`repro.sim.executor` — a NumPy functional executor that runs the fused
+  dataflow tile-by-tile through the dsm_comm reference primitives and checks
+  numerical equivalence with the unfused reference computation.
+* :mod:`repro.sim.profiler` — a global-memory-traffic profiler (the Nsight
+  Compute substitute) used by the Figure 11 experiment.
+"""
+
+from repro.sim.engine import KernelLaunch, PerformanceSimulator, SimulationReport
+from repro.sim.executor import FunctionalExecutor, make_chain_inputs
+from repro.sim.profiler import MemoryProfiler, TrafficReport
+
+__all__ = [
+    "KernelLaunch",
+    "PerformanceSimulator",
+    "SimulationReport",
+    "FunctionalExecutor",
+    "make_chain_inputs",
+    "MemoryProfiler",
+    "TrafficReport",
+]

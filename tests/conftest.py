@@ -1,0 +1,56 @@
+"""Shared fixtures for the FlashFuser reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import FlashFuser
+from repro.hardware.spec import a100_spec, h100_spec
+from repro.ir.builders import build_gated_ffn, build_standard_ffn
+from repro.search.space import SearchSpace
+
+
+@pytest.fixture(scope="session")
+def h100():
+    """The H100 hardware model used throughout the evaluation."""
+    return h100_spec()
+
+
+@pytest.fixture(scope="session")
+def a100():
+    """The A100 model (no DSM), used for contrast."""
+    return a100_spec()
+
+
+@pytest.fixture(scope="session")
+def small_chain():
+    """A small standard FFN whose search space is tiny (fast tests)."""
+    _, spec = build_standard_ffn("test-small", m=128, n=512, k=256, l=256)
+    return spec
+
+
+@pytest.fixture(scope="session")
+def small_gated_chain():
+    """A small gated FFN for gated-path tests."""
+    _, spec = build_gated_ffn("test-gated", m=128, n=512, k=256, l=256)
+    return spec
+
+
+@pytest.fixture(scope="session")
+def large_chain():
+    """A GPT-6.7B-sized FFN whose intermediate exceeds single-SM SMEM."""
+    _, spec = build_standard_ffn("test-large", m=128, n=16384, k=4096, l=4096)
+    return spec
+
+
+@pytest.fixture(scope="session")
+def fast_compiler(h100):
+    """A FlashFuser instance with a reduced tile menu for quick searches."""
+    compiler = FlashFuser(device=h100, top_k=5, max_tile=128)
+    return compiler
+
+
+@pytest.fixture(scope="session")
+def compiled_small(fast_compiler, small_chain):
+    """The small chain compiled once and shared across tests."""
+    return fast_compiler.compile(small_chain)

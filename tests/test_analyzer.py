@@ -1,0 +1,118 @@
+"""Tests for the dataflow analyzer (Algorithm 1)."""
+
+import pytest
+
+from repro.dataflow.analyzer import DataflowAnalyzer
+from repro.dataflow.loop_schedule import LoopSchedule
+from repro.dataflow.tiling import TileConfig
+from repro.dsm_comm.geometry import ClusterGeometry
+from repro.dsm_comm.primitives import PrimitiveKind
+from repro.hardware.memory import MemoryLevelName
+from repro.hardware.spec import h100_spec
+from repro.ir.builders import build_gated_ffn, build_standard_ffn
+
+TILE = TileConfig(128, 128, 64, 128)
+MLNK = LoopSchedule.from_string("m", "lnk")
+MNLK = LoopSchedule.from_string("m", "nlk")
+
+
+def _chain(m=128, n=1024, k=512, l=512, gated=False):
+    builder = build_gated_ffn if gated else build_standard_ffn
+    _, spec = builder("an-chain", m=m, n=n, k=k, l=l)
+    return spec
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return DataflowAnalyzer(h100_spec(), include_dsm=True)
+
+
+@pytest.fixture(scope="module")
+def analyzer_no_dsm():
+    return DataflowAnalyzer(h100_spec(), include_dsm=False)
+
+
+class TestAnalyzer:
+    def test_global_traffic_at_least_io_minimum(self, analyzer):
+        chain = _chain()
+        result = analyzer.analyze(chain, MNLK, TILE, ClusterGeometry.single_block())
+        assert result.global_bytes >= chain.io_bytes_min() - 1e-6
+
+    def test_small_chain_fuses_on_chip(self, analyzer):
+        chain = _chain(n=512)
+        result = analyzer.analyze(chain, MNLK, TILE, ClusterGeometry.single_block())
+        assert result.feasible
+
+    def test_large_intermediate_spills_without_dsm(self, analyzer_no_dsm):
+        # GPT-6.7B-sized chain: a (128, 16384) intermediate (4 MB) cannot be
+        # kept on a single SM.
+        chain = _chain(n=16384, k=4096, l=4096)
+        result = analyzer_no_dsm.analyze(chain, MLNK, TILE, ClusterGeometry.single_block())
+        assert not result.feasible
+        assert result.mapping.get(result.reused.tensor).spills_to_global
+
+    def test_dsm_rescues_large_intermediate(self, analyzer, analyzer_no_dsm):
+        # The n-outer schedule keeps partial-E accumulators (2 MB for this
+        # chain): too big for one SM, comfortably inside a 16-block cluster.
+        chain = _chain(n=16384, k=4096, l=4096)
+        geometry = ClusterGeometry(1, 16, 1, 16)
+        single = analyzer_no_dsm.analyze(chain, MNLK, TILE, ClusterGeometry.single_block())
+        assert not single.feasible
+        result = analyzer.analyze(chain, MNLK, TILE, geometry)
+        assert result.feasible
+        assert result.dsm_bytes > 0
+
+    def test_dsm_volume_includes_comm_plan(self, analyzer):
+        chain = _chain()
+        geometry = ClusterGeometry(1, 4, 2, 4)
+        result = analyzer.analyze(chain, MNLK, TILE, geometry)
+        assert result.dsm_bytes >= result.comm_plan.dsm_bytes() - 1e-6
+        assert result.comm_plan.has_primitive(PrimitiveKind.ALL_EXCHANGE)
+
+    def test_without_dsm_exchanges_round_trip_global(self, analyzer_no_dsm, analyzer):
+        chain = _chain()
+        geometry = ClusterGeometry(1, 4, 2, 4)
+        with_dsm = analyzer.analyze(chain, MNLK, TILE, geometry)
+        without_dsm = analyzer_no_dsm.analyze(chain, MNLK, TILE, geometry)
+        assert without_dsm.global_bytes > with_dsm.global_bytes
+
+    def test_fused_global_traffic_below_unfused(self, analyzer):
+        # A tile that covers the whole N and L extents per cluster step keeps
+        # input re-reads down, so the fused plan moves less global data than
+        # the unfused round-trip execution.
+        chain = _chain()
+        tile = TileConfig(128, 256, 64, 256)
+        result = analyzer.analyze(chain, MNLK, tile, ClusterGeometry(1, 2, 1, 2))
+        assert result.global_bytes < chain.unfused_global_bytes()
+
+    def test_spatial_n_beyond_cluster_triggers_inter_cluster_reduce(self, analyzer):
+        chain = _chain(n=4096)
+        schedule = LoopSchedule.from_string("n", "mlk")
+        result = analyzer.analyze(chain, schedule, TILE, ClusterGeometry(1, 2, 1, 2))
+        assert result.comm_plan.clusters_per_output > 1
+        assert result.comm_plan.inter_cluster_bytes() > 0
+
+    def test_volumes_keyed_by_hierarchy_levels(self, analyzer):
+        result = analyzer.analyze(_chain(), MNLK, TILE, ClusterGeometry(1, 2, 1, 2))
+        for name in result.volumes:
+            assert name in MemoryLevelName.ORDER
+
+    def test_default_geometry_is_single_block(self, analyzer):
+        result = analyzer.analyze(_chain(), MNLK, TILE)
+        assert result.geometry.blocks_per_cluster == 1
+
+    def test_gated_chain_analysis(self, analyzer):
+        chain = _chain(gated=True)
+        result = analyzer.analyze(chain, MNLK, TILE, ClusterGeometry(1, 2, 2, 2))
+        assert result.feasible
+        assert result.comm_plan.has_primitive(PrimitiveKind.ALL_EXCHANGE)
+
+    def test_on_chip_bytes_positive_for_fused_plan(self, analyzer):
+        result = analyzer.analyze(_chain(), MLNK, TILE, ClusterGeometry(1, 2, 1, 2))
+        assert result.on_chip_bytes > 0
+
+    def test_results_deterministic(self, analyzer):
+        chain = _chain()
+        first = analyzer.analyze(chain, MNLK, TILE, ClusterGeometry(1, 2, 1, 2))
+        second = analyzer.analyze(chain, MNLK, TILE, ClusterGeometry(1, 2, 1, 2))
+        assert first.volumes == second.volumes

@@ -1,0 +1,80 @@
+"""Tests for the public FlashFuser API."""
+
+import pytest
+
+from repro import FlashFuser, compile_chain, get_workload, h100_spec, list_workloads
+from repro.api import FusionError, KernelTable
+from repro.dsm_comm.primitives import PrimitiveKind
+
+
+class TestCompile:
+    def test_compiled_kernel_fields(self, compiled_small):
+        assert compiled_small.time_us > 0
+        assert compiled_small.tflops > 0
+        assert compiled_small.plan.chain.name == "test-small"
+        assert compiled_small.search.succeeded
+        assert compiled_small.traffic.total_bytes > 0
+
+    def test_summary_keys(self, compiled_small):
+        summary = compiled_small.summary()
+        for key in ("workload", "schedule", "cluster", "time_us", "tflops", "candidates_analyzed"):
+            assert key in summary
+
+    def test_generated_source_mentions_kernel(self, compiled_small):
+        assert compiled_small.plan.kernel_name in compiled_small.source
+        assert compiled_small.kernel_ir.statements
+
+    def test_compile_workload_by_id(self, fast_compiler):
+        kernel = fast_compiler.compile_workload("G1")
+        assert kernel.plan.chain.name == "G1"
+
+    def test_compile_workload_with_m_override(self, fast_compiler):
+        kernel = fast_compiler.compile_workload("G1", m=256)
+        assert kernel.plan.chain.m == 256
+
+    def test_large_chain_uses_dsm(self, fast_compiler, large_chain):
+        kernel = fast_compiler.compile(large_chain)
+        assert kernel.plan.geometry.blocks_per_cluster > 1
+        assert kernel.plan.comm_plan.dsm_bytes() > 0
+
+    def test_gated_chain_compiles(self, fast_compiler, small_gated_chain):
+        kernel = fast_compiler.compile(small_gated_chain)
+        assert kernel.search.succeeded
+
+    def test_compile_chain_convenience(self, small_chain, h100):
+        kernel = compile_chain(small_chain, device=h100, top_k=3)
+        assert kernel.time_us > 0
+
+    def test_dsm_disabled_fails_on_large_chain(self, h100, large_chain):
+        compiler = FlashFuser(device=h100, include_dsm=False, top_k=3, max_tile=128)
+        with pytest.raises(FusionError):
+            compiler.compile(large_chain)
+
+
+class TestKernelTable:
+    def test_lookup_selects_covering_bin(self, fast_compiler, small_chain):
+        table = fast_compiler.compile_table(small_chain, m_bins=(64, 128, 256))
+        assert table.bins() == [64, 128, 256]
+        assert table.lookup(32).plan.chain.m == 64
+        assert table.lookup(128).plan.chain.m == 128
+        assert table.lookup(200).plan.chain.m == 256
+        # Beyond the largest bin the largest kernel is reused.
+        assert table.lookup(1024).plan.chain.m == 256
+
+    def test_lookup_rejects_non_positive(self, fast_compiler, small_chain):
+        table = fast_compiler.compile_table(small_chain, m_bins=(64,))
+        with pytest.raises(ValueError):
+            table.lookup(0)
+
+    def test_empty_table_lookup(self, small_chain):
+        with pytest.raises(KeyError):
+            KernelTable(chain=small_chain).lookup(64)
+
+
+class TestPackageSurface:
+    def test_workload_listing_exported(self):
+        assert "G5" in list_workloads()
+        assert get_workload("S1").to_spec().kind.value == "gated_ffn"
+
+    def test_h100_exported(self):
+        assert h100_spec().has_dsm

@@ -1,0 +1,134 @@
+"""Tests for the baseline execution strategies."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    BASELINE_NAMES,
+    BoltBaseline,
+    ChimeraBaseline,
+    MirageBaseline,
+    PipeThreaderBaseline,
+    PyTorchBaseline,
+    RelayBaseline,
+    TasoBaseline,
+    TensorRTBaseline,
+    make_baseline,
+)
+from repro.baselines.base import epilogue_fused_launches, unfused_launches
+from repro.hardware.spec import h100_spec
+from repro.ir.builders import build_gated_ffn, build_standard_ffn
+from repro.ir.workloads import get_workload
+
+
+def _small_chain():
+    _, spec = build_standard_ffn("bl-small", m=128, n=512, k=256, l=256)
+    return spec
+
+
+def _large_chain():
+    _, spec = build_standard_ffn("bl-large", m=128, n=16384, k=4096, l=4096)
+    return spec
+
+
+def _gated_chain():
+    _, spec = build_gated_ffn("bl-gated", m=128, n=1024, k=512, l=512)
+    return spec
+
+
+class TestKernelSequences:
+    def test_unfused_launch_count(self):
+        assert len(unfused_launches(_small_chain())) == 3
+        assert len(unfused_launches(_gated_chain())) == 5
+
+    def test_epilogue_fusion_removes_elementwise_kernels(self):
+        assert len(epilogue_fused_launches(_small_chain())) == 2
+        assert len(epilogue_fused_launches(_gated_chain())) == 3
+
+    def test_unfused_traffic_counts_intermediate_round_trips(self):
+        chain = _small_chain()
+        total = sum(k.global_bytes for k in unfused_launches(chain))
+        assert total == pytest.approx(chain.unfused_global_bytes())
+
+
+class TestRegistry:
+    def test_all_names_buildable(self):
+        device = h100_spec()
+        for name in BASELINE_NAMES:
+            baseline = make_baseline(name, device=device)
+            assert baseline.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_baseline("cudnn")
+
+
+class TestBaselineBehaviour:
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    def test_every_baseline_produces_finite_time(self, name):
+        baseline = make_baseline(name)
+        result = baseline.run(_small_chain())
+        assert math.isfinite(result.time_us) and result.time_us > 0
+        assert result.workload == "bl-small"
+        assert result.tflops > 0
+
+    def test_pytorch_never_fuses(self):
+        result = PyTorchBaseline().run(_small_chain())
+        assert not result.fused
+        assert result.kernels == 3
+
+    def test_tensorrt_faster_than_pytorch(self):
+        chain = _small_chain()
+        assert TensorRTBaseline().run(chain).time_us < PyTorchBaseline().run(chain).time_us
+
+    def test_relay_single_gemm_kernels_for_standard_chain(self):
+        result = RelayBaseline().run(_small_chain())
+        assert result.kernels == 2
+
+    def test_taso_merges_gated_branches(self):
+        result = TasoBaseline().run(_gated_chain())
+        assert result.kernels == 3
+
+    def test_bolt_fuses_small_but_not_large(self):
+        bolt = BoltBaseline()
+        assert bolt.run(_small_chain()).fused
+        large = bolt.run(_large_chain())
+        assert not large.fused
+        assert "abandoned" in large.notes
+
+    def test_chimera_fuses_small_but_not_large(self):
+        chimera = ChimeraBaseline()
+        assert chimera.run(_small_chain()).fused
+        assert not chimera.run(_large_chain()).fused
+
+    def test_chimera_without_fallback_reports_failure(self):
+        chimera = ChimeraBaseline(fallback=False)
+        result = chimera.run(_large_chain())
+        assert not result.fused
+        assert result.time_us == float("inf")
+
+    def test_chimera_capacity_probe(self):
+        chimera = ChimeraBaseline()
+        assert chimera.required_smem_bytes(_large_chain()) > 227 * 1024
+        assert chimera.required_smem_bytes(_small_chain()) <= 227 * 1024
+
+    def test_mirage_uses_cluster_template_on_llm_shapes(self):
+        result = MirageBaseline().run(get_workload("G5").to_spec())
+        assert result.fused
+        assert "template" in result.notes
+
+    def test_pipethreader_faster_than_relay_equivalent(self):
+        chain = _small_chain()
+        pipe = PipeThreaderBaseline().run(chain)
+        assert not pipe.fused
+        assert pipe.time_us > 0
+
+    def test_large_chain_slower_than_small_for_all_baselines(self):
+        small, large = _small_chain(), _large_chain()
+        for name in BASELINE_NAMES:
+            baseline = make_baseline(name)
+            small_result = baseline.run(small)
+            large_result = baseline.run(large)
+            if math.isfinite(large_result.time_us):
+                assert large_result.time_us > small_result.time_us

@@ -1,0 +1,105 @@
+"""Tests for the NumPy reference implementations of the dsm_comm collectives."""
+
+import numpy as np
+import pytest
+
+from repro.dsm_comm.functional import (
+    dsm_all_exchange,
+    dsm_reduce_scatter,
+    dsm_shuffle,
+    inter_cluster_reduce,
+)
+
+
+def _blocks(count, shape=(4, 4), seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(shape) for _ in range(count)]
+
+
+class TestAllExchange:
+    def test_add_produces_sum_everywhere(self):
+        blocks = _blocks(4)
+        result = dsm_all_exchange(blocks, op="add")
+        expected = sum(blocks)
+        assert len(result) == 4
+        for tile in result:
+            np.testing.assert_allclose(tile, expected)
+
+    def test_mul_produces_product(self):
+        blocks = _blocks(3)
+        result = dsm_all_exchange(blocks, op="mul")
+        np.testing.assert_allclose(result[0], blocks[0] * blocks[1] * blocks[2])
+
+    def test_single_block_identity(self):
+        blocks = _blocks(1)
+        result = dsm_all_exchange(blocks)
+        np.testing.assert_allclose(result[0], blocks[0])
+
+    def test_does_not_mutate_inputs(self):
+        blocks = _blocks(2)
+        copies = [b.copy() for b in blocks]
+        dsm_all_exchange(blocks)
+        for original, copy in zip(blocks, copies):
+            np.testing.assert_array_equal(original, copy)
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            dsm_all_exchange(_blocks(2), op="max")
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            dsm_all_exchange([np.zeros((2, 2)), np.zeros((3, 3))])
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError):
+            dsm_all_exchange([])
+
+
+class TestShuffle:
+    def test_gathers_slices_in_order(self):
+        blocks = [np.full((2, 3), float(i)) for i in range(4)]
+        result = dsm_shuffle(blocks, axis=1)
+        assert result[0].shape == (2, 12)
+        np.testing.assert_allclose(result[0][:, 0:3], 0.0)
+        np.testing.assert_allclose(result[0][:, 9:12], 3.0)
+
+    def test_all_participants_get_same_result(self):
+        blocks = _blocks(3)
+        result = dsm_shuffle(blocks, axis=0)
+        for tile in result[1:]:
+            np.testing.assert_array_equal(result[0], tile)
+
+    def test_axis_zero_concatenation(self):
+        blocks = [np.ones((2, 2)), np.zeros((2, 2))]
+        gathered = dsm_shuffle(blocks, axis=0)[0]
+        assert gathered.shape == (4, 2)
+
+
+class TestReduceScatter:
+    def test_shards_reconstruct_the_sum(self):
+        blocks = _blocks(4, shape=(4, 8))
+        shards = dsm_reduce_scatter(blocks, op="add", axis=1)
+        reconstructed = np.concatenate(shards, axis=1)
+        np.testing.assert_allclose(reconstructed, sum(blocks))
+
+    def test_each_block_owns_one_shard(self):
+        blocks = _blocks(4, shape=(4, 8))
+        shards = dsm_reduce_scatter(blocks, axis=1)
+        assert len(shards) == 4
+        assert all(shard.shape == (4, 2) for shard in shards)
+
+    def test_mul_reduction(self):
+        blocks = [np.full((2, 4), 2.0), np.full((2, 4), 3.0)]
+        shards = dsm_reduce_scatter(blocks, op="mul", axis=1)
+        np.testing.assert_allclose(np.concatenate(shards, axis=1), np.full((2, 4), 6.0))
+
+
+class TestInterClusterReduce:
+    def test_sums_partials(self):
+        partials = _blocks(3)
+        result = inter_cluster_reduce(partials)
+        np.testing.assert_allclose(result, sum(partials))
+
+    def test_single_cluster_identity(self):
+        partials = _blocks(1)
+        np.testing.assert_allclose(inter_cluster_reduce(partials), partials[0])

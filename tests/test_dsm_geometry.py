@@ -1,0 +1,76 @@
+"""Tests for cluster geometry and the derived shuffle/reduce group sizes."""
+
+import pytest
+
+from repro.dsm_comm.geometry import ClusterGeometry
+from repro.hardware.cluster import ClusterLimits
+
+
+class TestClusterGeometry:
+    def test_paper_example_a(self):
+        # Figure 7(a): cls(m, n, k, l) = (2, 4, 2, 4)
+        geometry = ClusterGeometry(2, 4, 2, 4)
+        assert geometry.cls_shuffle == 2
+        assert geometry.cls_reduce == 2
+        assert geometry.blocks_per_cluster == 16
+
+    def test_paper_example_b(self):
+        # Figure 7(b): cls(m, n, k, l) = (2, 4, 2, 8): no reduce needed but a
+        # larger shuffle group.
+        geometry = ClusterGeometry(2, 4, 2, 8)
+        assert geometry.cls_shuffle == 4
+        assert geometry.cls_reduce == 1
+        assert not geometry.needs_reduce_scatter
+
+    def test_indivisible_shuffle_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterGeometry(1, 4, 2, 3)
+
+    def test_indivisible_reduce_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterGeometry(1, 2, 1, 4)  # n*k=2 not divisible by l=4
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterGeometry(0, 1, 1, 1)
+
+    def test_single_block(self):
+        geometry = ClusterGeometry.single_block()
+        assert geometry.blocks_per_cluster == 1
+        assert not geometry.uses_dsm
+        assert not geometry.needs_all_exchange
+        assert not geometry.needs_shuffle
+
+    def test_needs_flags(self):
+        geometry = ClusterGeometry(1, 4, 2, 4)
+        assert geometry.needs_all_exchange
+        assert geometry.needs_shuffle
+        assert geometry.needs_reduce_scatter
+
+    def test_size_of(self):
+        geometry = ClusterGeometry(2, 4, 2, 8)
+        assert geometry.size_of("m") == 2
+        assert geometry.size_of("l") == 8
+
+    def test_validity_against_h100_limits(self):
+        limits = ClusterLimits()
+        assert ClusterGeometry(2, 4, 2, 4).is_valid(limits)
+        assert not ClusterGeometry(4, 4, 2, 4).is_valid(limits)  # 32 blocks
+
+    def test_enumerate_respects_divisibility(self):
+        limits = ClusterLimits()
+        for geometry in ClusterGeometry.enumerate(limits):
+            assert geometry.cls_l % geometry.cls_k == 0
+            assert (geometry.cls_n * geometry.cls_k) % geometry.cls_l == 0
+
+    def test_enumerate_validated_subset(self):
+        limits = ClusterLimits()
+        all_geoms = list(ClusterGeometry.enumerate(limits, validate=False))
+        valid_geoms = list(ClusterGeometry.enumerate(limits, validate=True))
+        assert 0 < len(valid_geoms) < len(all_geoms)
+        assert all(g.is_valid(limits) for g in valid_geoms)
+
+    def test_shuffle_times_reduce_equals_n(self):
+        limits = ClusterLimits()
+        for geometry in ClusterGeometry.enumerate(limits, validate=True):
+            assert geometry.cls_shuffle * geometry.cls_reduce == geometry.cls_n

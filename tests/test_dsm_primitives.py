@@ -1,0 +1,109 @@
+"""Tests for the dsm_comm primitive descriptors and the CommPlan."""
+
+import pytest
+
+from repro.dsm_comm.geometry import ClusterGeometry
+from repro.dsm_comm.primitives import CombineOp, CommPlan, DsmPrimitive, PrimitiveKind
+from repro.hardware.dsm import DsmModel
+from repro.ir.builders import build_gated_ffn, build_standard_ffn
+
+
+def _chain(gated=False, m=128, n=1024, k=512, l=512):
+    builder = build_gated_ffn if gated else build_standard_ffn
+    _, spec = builder("chain", m=m, n=n, k=k, l=l)
+    return spec
+
+
+class TestDsmPrimitive:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DsmPrimitive(PrimitiveKind.SHUFFLE, 0, CombineOp.NONE, 100.0, 1)
+        with pytest.raises(ValueError):
+            DsmPrimitive(PrimitiveKind.SHUFFLE, 2, CombineOp.NONE, -1.0, 1)
+
+    def test_inter_cluster_reduce_not_on_dsm(self):
+        primitive = DsmPrimitive(
+            PrimitiveKind.INTER_CLUSTER_REDUCE, 2, CombineOp.ADD, 100.0, 1
+        )
+        assert not primitive.uses_dsm
+
+    def test_time_includes_latency(self):
+        dsm = DsmModel()
+        fast = DsmPrimitive(PrimitiveKind.SHUFFLE, 2, CombineOp.NONE, 1024.0, 1)
+        slow = DsmPrimitive(PrimitiveKind.SHUFFLE, 2, CombineOp.NONE, 1024.0, 100)
+        assert slow.time_us(dsm, 2, 1.8) > fast.time_us(dsm, 2, 1.8)
+
+    def test_zero_volume_costs_nothing(self):
+        primitive = DsmPrimitive(PrimitiveKind.SHUFFLE, 2, CombineOp.NONE, 0.0, 5)
+        assert primitive.time_us(DsmModel(), 2, 1.8) == 0.0
+
+
+class TestCommPlan:
+    def test_single_block_has_no_collectives(self):
+        plan = CommPlan.build(_chain(), ClusterGeometry.single_block())
+        assert plan.primitives == []
+        assert plan.dsm_bytes() == 0.0
+
+    def test_k_split_requires_all_exchange(self):
+        plan = CommPlan.build(_chain(), ClusterGeometry(1, 1, 2, 2))
+        exchange = plan.get(PrimitiveKind.ALL_EXCHANGE)
+        assert exchange is not None
+        assert exchange.combine is CombineOp.ADD
+        assert exchange.group_size == 2
+
+    def test_shuffle_group_size_follows_geometry(self):
+        geometry = ClusterGeometry(1, 4, 2, 8)
+        plan = CommPlan.build(_chain(), geometry)
+        shuffle = plan.get(PrimitiveKind.SHUFFLE)
+        assert shuffle is not None
+        assert shuffle.group_size == geometry.cls_shuffle == 4
+
+    def test_reduce_scatter_only_when_needed(self):
+        # Figure 7(b): cls_reduce == 1, so no scatter-reduce.
+        plan_b = CommPlan.build(_chain(), ClusterGeometry(2, 4, 2, 8))
+        assert not plan_b.has_primitive(PrimitiveKind.REDUCE_SCATTER)
+        # Figure 7(a): cls_reduce == 2.
+        plan_a = CommPlan.build(_chain(), ClusterGeometry(2, 4, 2, 4))
+        assert plan_a.has_primitive(PrimitiveKind.REDUCE_SCATTER)
+
+    def test_larger_shuffle_moves_more_data_than_smaller(self):
+        chain = _chain()
+        small = CommPlan.build(chain, ClusterGeometry(2, 4, 2, 4))
+        large = CommPlan.build(chain, ClusterGeometry(2, 4, 2, 8))
+        small_shuffle = small.get(PrimitiveKind.SHUFFLE).volume_bytes
+        large_shuffle = large.get(PrimitiveKind.SHUFFLE).volume_bytes
+        assert large_shuffle > small_shuffle
+        # ... but the larger shuffle removes the scatter-reduce entirely
+        # (the trade-off Section IV-A describes).
+        assert small.get(PrimitiveKind.REDUCE_SCATTER) is not None
+        assert large.get(PrimitiveKind.REDUCE_SCATTER) is None
+
+    def test_gated_spatial_mapping_uses_mul_exchange(self):
+        plan = CommPlan.build(_chain(gated=True), ClusterGeometry(1, 2, 2, 2))
+        exchange = plan.get(PrimitiveKind.ALL_EXCHANGE)
+        assert exchange is not None
+        assert exchange.combine is CombineOp.MUL
+
+    def test_gated_sequential_mapping_avoids_mul_exchange(self):
+        plan = CommPlan.build(
+            _chain(gated=True), ClusterGeometry(1, 2, 1, 2), gated_sequential=True
+        )
+        assert plan.get(PrimitiveKind.ALL_EXCHANGE) is None
+
+    def test_inter_cluster_reduce_traffic(self):
+        chain = _chain()
+        plan = CommPlan.build(chain, ClusterGeometry(1, 2, 1, 2), clusters_per_output=4)
+        inter = plan.get(PrimitiveKind.INTER_CLUSTER_REDUCE)
+        assert inter is not None
+        assert inter.volume_bytes == pytest.approx(3 * chain.e_bytes)
+        assert plan.inter_cluster_bytes() == inter.volume_bytes
+
+    def test_dsm_traffic_scales_with_intermediate_size(self):
+        geometry = ClusterGeometry(1, 4, 2, 4)
+        small = CommPlan.build(_chain(n=512), geometry)
+        large = CommPlan.build(_chain(n=2048), geometry)
+        assert large.dsm_bytes() > small.dsm_bytes()
+
+    def test_time_positive_when_traffic_exists(self):
+        plan = CommPlan.build(_chain(), ClusterGeometry(2, 4, 2, 4))
+        assert plan.time_us(DsmModel(), clock_ghz=1.8) > 0

@@ -1,0 +1,146 @@
+"""Tests for footprints, reuse analysis (Figure 9) and I/O traffic."""
+
+import pytest
+
+from repro.dataflow.footprint import (
+    ACCUMULATOR_ITEMSIZE,
+    TENSOR_DIMS,
+    block_tile_footprint,
+    cluster_tile_footprint,
+    io_tensor_traffic,
+    reused_tensor_footprint,
+    tensor_size_bytes,
+    temporal_trip_count,
+)
+from repro.dataflow.loop_schedule import LoopSchedule
+from repro.dataflow.tiling import TileConfig
+from repro.dsm_comm.geometry import ClusterGeometry
+from repro.ir.builders import build_gated_ffn, build_standard_ffn
+
+
+def _chain(m=128, n=1024, k=512, l=512, gated=False):
+    builder = build_gated_ffn if gated else build_standard_ffn
+    _, spec = builder("fp-chain", m=m, n=n, k=k, l=l)
+    return spec
+
+
+TILE = TileConfig(128, 128, 64, 128)
+SINGLE = ClusterGeometry.single_block()
+
+
+class TestSizes:
+    def test_tensor_dims_cover_all_tensors(self):
+        assert set(TENSOR_DIMS) == {"A", "B", "C", "D", "E"}
+
+    def test_tensor_size_bytes(self):
+        chain = _chain()
+        assert tensor_size_bytes("A", chain) == chain.a_bytes
+        assert tensor_size_bytes("C", chain) == chain.c_bytes
+        assert tensor_size_bytes("B", _chain(gated=True)) == _chain(gated=True).b_bytes
+
+    def test_block_tile_footprint(self):
+        assert block_tile_footprint("C", TILE, itemsize=2) == 128 * 128 * 2
+
+    def test_cluster_tile_footprint_scales_with_geometry(self):
+        geometry = ClusterGeometry(2, 2, 1, 2)
+        assert cluster_tile_footprint("C", TILE, geometry, 2) == 256 * 256 * 2
+
+
+class TestTripCount:
+    def test_spatial_dimension_has_one_trip(self):
+        chain = _chain()
+        schedule = LoopSchedule.from_string("n", "mlk")
+        assert temporal_trip_count("n", chain, schedule, TILE, SINGLE) == 1
+
+    def test_temporal_trip_count_uses_cluster_tile(self):
+        chain = _chain(n=1024)
+        schedule = LoopSchedule.from_string("m", "nlk")
+        assert temporal_trip_count("n", chain, schedule, TILE, SINGLE) == 8
+        assert temporal_trip_count("n", chain, schedule, TILE, ClusterGeometry(1, 2, 1, 2)) == 4
+
+
+class TestReusedTensor:
+    def test_l_outer_keeps_full_c_row(self):
+        # Figure 9(a): MLNK requires the complete intermediate row of C.
+        chain = _chain()
+        schedule = LoopSchedule.from_string("m", "lnk")
+        info = reused_tensor_footprint(chain, schedule, TILE, SINGLE)
+        assert info.tensor == "C"
+        assert info.footprint_bytes == 128 * chain.n * 2
+        assert info.accesses_per_trip == 1
+
+    def test_n_outer_keeps_partial_e(self):
+        # Figure 9(b): MNLK accumulates partial E across the n loop.
+        chain = _chain()
+        schedule = LoopSchedule.from_string("m", "nlk")
+        info = reused_tensor_footprint(chain, schedule, TILE, SINGLE)
+        assert info.tensor == "E"
+        assert info.footprint_bytes == 128 * chain.l * ACCUMULATOR_ITEMSIZE
+        assert info.accesses_per_trip == 2
+
+    def test_spatial_n_shrinks_footprint_to_cluster_tile(self):
+        chain = _chain()
+        schedule = LoopSchedule.from_string("n", "mlk")
+        info = reused_tensor_footprint(chain, schedule, TILE, SINGLE)
+        assert info.tensor == "C"
+        assert info.footprint_bytes == 128 * TILE.block_n * 2
+
+    def test_spatial_l_keeps_accumulators(self):
+        chain = _chain()
+        schedule = LoopSchedule.from_string("l", "mnk")
+        info = reused_tensor_footprint(chain, schedule, TILE, SINGLE)
+        assert info.tensor == "E"
+
+    def test_both_spatial_consumed_in_place(self):
+        chain = _chain()
+        schedule = LoopSchedule.from_string("nl", "mk")
+        info = reused_tensor_footprint(chain, schedule, TILE, SINGLE)
+        assert info.reuse_trips == 1
+
+    def test_cluster_reduces_reuse_trips(self):
+        chain = _chain()
+        schedule = LoopSchedule.from_string("m", "lnk")
+        single = reused_tensor_footprint(chain, schedule, TILE, SINGLE)
+        clustered = reused_tensor_footprint(chain, schedule, TILE, ClusterGeometry(1, 4, 1, 4))
+        assert clustered.reuse_trips < single.reuse_trips
+
+    def test_bigger_intermediate_means_bigger_footprint(self):
+        schedule = LoopSchedule.from_string("m", "lnk")
+        small = reused_tensor_footprint(_chain(n=1024), schedule, TILE, SINGLE)
+        large = reused_tensor_footprint(_chain(n=4096), schedule, TILE, SINGLE)
+        assert large.footprint_bytes > small.footprint_bytes
+
+
+class TestIoTraffic:
+    def test_weight_reread_when_m_is_outer(self):
+        # With m temporal and outer, the weights B and D are streamed once
+        # per m tile.
+        chain = _chain(m=512)
+        schedule = LoopSchedule.from_string("k", "mnl")
+        traffic = io_tensor_traffic("B", chain, schedule, TILE, SINGLE)
+        # B is indexed by (k, n); m sits outside its innermost loop (n), so
+        # the whole tensor is re-read for every one of the four m tiles.
+        assert traffic == pytest.approx(4 * tensor_size_bytes("B", chain))
+
+    def test_no_reread_when_unrelated_loop_is_innermost(self):
+        chain = _chain()
+        # A is indexed by (m, k); l and n nested inside its loops do not
+        # force re-reads ... but here n is outer than k so it does.
+        schedule = LoopSchedule.from_string("m", "nlk")
+        traffic_a = io_tensor_traffic("A", chain, schedule, TILE, SINGLE)
+        assert traffic_a >= tensor_size_bytes("A", chain)
+
+    def test_spatial_dims_do_not_multiply_traffic(self):
+        chain = _chain()
+        schedule_spatial = LoopSchedule.from_string("mn", "lk")
+        traffic = io_tensor_traffic("D", chain, schedule_spatial, TILE, SINGLE)
+        assert traffic == pytest.approx(tensor_size_bytes("D", chain))
+
+    def test_traffic_never_below_tensor_size(self):
+        chain = _chain()
+        for spatial, temporal in [("m", "nlk"), ("m", "lnk"), ("mn", "lk")]:
+            schedule = LoopSchedule.from_string(spatial, temporal)
+            for tensor in ("A", "B", "D"):
+                assert io_tensor_traffic(tensor, chain, schedule, TILE, SINGLE) >= tensor_size_bytes(
+                    tensor, chain
+                ) - 1e-6

@@ -1,0 +1,60 @@
+"""Tests for the DSM bandwidth/latency model (Figure 4 behaviour)."""
+
+import pytest
+
+from repro.hardware.dsm import DsmModel
+
+
+class TestDsmModel:
+    def setup_method(self):
+        self.dsm = DsmModel()
+
+    def test_bandwidth_decreases_with_cluster_size(self):
+        sizes = self.dsm.supported_cluster_sizes()
+        bandwidths = [self.dsm.bandwidth(s) for s in sizes]
+        assert bandwidths == sorted(bandwidths, reverse=True)
+
+    def test_latency_increases_with_cluster_size(self):
+        sizes = self.dsm.supported_cluster_sizes()
+        latencies = [self.dsm.latency(s) for s in sizes]
+        assert latencies == sorted(latencies)
+
+    def test_latency_always_better_than_global(self):
+        for size in self.dsm.supported_cluster_sizes():
+            assert self.dsm.latency(size) < self.dsm.global_latency_cycles
+
+    def test_bandwidth_beats_global_for_small_clusters(self):
+        assert self.dsm.bandwidth(2) > self.dsm.global_bandwidth_tbps
+        assert self.dsm.bandwidth(4) > self.dsm.global_bandwidth_tbps
+
+    def test_profitability_vs_global_round_trip(self):
+        # A global round trip costs write+read, so DSM is profitable for all
+        # supported cluster sizes.
+        for size in self.dsm.supported_cluster_sizes():
+            assert self.dsm.is_profitable(size)
+
+    def test_interpolation_between_tabulated_sizes(self):
+        bw6 = self.dsm.bandwidth(6)
+        assert self.dsm.bandwidth(8) < bw6 < self.dsm.bandwidth(4)
+
+    def test_cluster_size_one_rejected(self):
+        with pytest.raises(ValueError):
+            self.dsm.bandwidth(1)
+
+    def test_cluster_size_above_limit_rejected(self):
+        with pytest.raises(ValueError):
+            self.dsm.latency(32)
+
+    def test_bandwidth_gbps_conversion(self):
+        assert self.dsm.bandwidth_gbps(2) == pytest.approx(self.dsm.bandwidth(2) * 1e3)
+
+    def test_speedup_vs_global(self):
+        assert self.dsm.speedup_vs_global(2) > 1.0
+
+    def test_mismatched_tables_rejected(self):
+        with pytest.raises(ValueError):
+            DsmModel(bandwidth_tbps={2: 3.0}, latency_cycles={2: 180.0, 4: 190.0})
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(ValueError):
+            DsmModel(bandwidth_tbps={}, latency_cycles={})

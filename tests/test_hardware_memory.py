@@ -1,0 +1,117 @@
+"""Tests for the memory-hierarchy model."""
+
+import pytest
+
+from repro.hardware.memory import MemoryHierarchy, MemoryLevel, MemoryLevelName
+
+
+def _level(name, capacity=1024, bandwidth=100.0, latency=10.0):
+    return MemoryLevel(name, capacity, bandwidth, latency)
+
+
+class TestMemoryLevel:
+    def test_valid_level(self):
+        level = _level(MemoryLevelName.SMEM)
+        assert level.name == "smem"
+        assert level.is_on_chip
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            _level("texture_cache")
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLevel(MemoryLevelName.SMEM, -1, 100.0, 10.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLevel(MemoryLevelName.SMEM, 1024, 0.0, 10.0)
+
+    def test_global_is_off_chip(self):
+        assert not _level(MemoryLevelName.GLOBAL).is_on_chip
+
+    def test_transfer_time_scales_with_volume(self):
+        level = _level(MemoryLevelName.GLOBAL, bandwidth=1000.0)
+        assert level.transfer_time_us(2_000_000) == pytest.approx(
+            2 * level.transfer_time_us(1_000_000)
+        )
+
+    def test_transfer_time_rejects_negative_volume(self):
+        with pytest.raises(ValueError):
+            _level(MemoryLevelName.SMEM).transfer_time_us(-1)
+
+
+class TestMemoryLevelName:
+    def test_order_is_fast_to_slow(self):
+        assert MemoryLevelName.ORDER[0] == MemoryLevelName.REGISTER
+        assert MemoryLevelName.ORDER[-1] == MemoryLevelName.GLOBAL
+
+    def test_index_monotonic(self):
+        indices = [MemoryLevelName.index(n) for n in MemoryLevelName.ORDER]
+        assert indices == sorted(indices)
+
+    def test_on_chip_classification(self):
+        assert MemoryLevelName.is_on_chip(MemoryLevelName.DSM)
+        assert not MemoryLevelName.is_on_chip(MemoryLevelName.L2)
+
+
+class TestMemoryHierarchy:
+    def _hierarchy(self):
+        return MemoryHierarchy(
+            [
+                _level(MemoryLevelName.REGISTER),
+                _level(MemoryLevelName.SMEM),
+                _level(MemoryLevelName.DSM),
+                _level(MemoryLevelName.GLOBAL),
+            ]
+        )
+
+    def test_names_in_order(self):
+        assert self._hierarchy().names() == ["reg", "smem", "dsm", "global"]
+
+    def test_duplicate_level_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([_level(MemoryLevelName.SMEM), _level(MemoryLevelName.SMEM)])
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([_level(MemoryLevelName.GLOBAL), _level(MemoryLevelName.SMEM)])
+
+    def test_get_and_has(self):
+        hierarchy = self._hierarchy()
+        assert hierarchy.get("dsm").name == "dsm"
+        assert hierarchy.has("smem")
+        assert not hierarchy.has("l2")
+        with pytest.raises(KeyError):
+            hierarchy.get("l2")
+
+    def test_on_chip_levels(self):
+        names = [level.name for level in self._hierarchy().on_chip_levels()]
+        assert names == ["reg", "smem", "dsm"]
+
+    def test_spill_targets_exclude_l2(self):
+        hierarchy = MemoryHierarchy(
+            [
+                _level(MemoryLevelName.REGISTER),
+                _level(MemoryLevelName.SMEM),
+                _level(MemoryLevelName.L2),
+                _level(MemoryLevelName.GLOBAL),
+            ]
+        )
+        names = [level.name for level in hierarchy.spill_targets()]
+        assert "l2" not in names
+        assert names[-1] == "global"
+
+    def test_spill_targets_can_exclude_dsm(self):
+        names = [level.name for level in self._hierarchy().spill_targets(include_dsm=False)]
+        assert "dsm" not in names
+
+    def test_without_removes_level(self):
+        reduced = self._hierarchy().without("dsm")
+        assert not reduced.has("dsm")
+        assert len(reduced) == 3
+
+    def test_slowest_on_chip(self):
+        hierarchy = self._hierarchy()
+        assert hierarchy.slowest_on_chip().name == "dsm"
+        assert hierarchy.slowest_on_chip(include_dsm=False).name == "smem"

@@ -1,0 +1,87 @@
+"""Tests for device specifications and cluster limits."""
+
+import pytest
+
+from repro.hardware.cluster import ClusterLimits
+from repro.hardware.memory import MemoryLevelName
+from repro.hardware.spec import a100_spec, h100_spec
+
+
+class TestClusterLimits:
+    def test_defaults_match_h100(self):
+        limits = ClusterLimits()
+        assert limits.max_blocks_per_cluster == 16
+        assert limits.allowed_dim_sizes == (1, 2, 4, 8, 16)
+        assert limits.mma_tile == (16, 16, 16)
+
+    def test_cluster_product_check(self):
+        limits = ClusterLimits()
+        assert limits.cluster_product_ok(2, 4, 2)
+        assert not limits.cluster_product_ok(4, 4, 2)
+
+    def test_cluster_product_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ClusterLimits().cluster_product_ok(0, 2)
+
+    def test_dim_size_allowed(self):
+        limits = ClusterLimits()
+        assert limits.dim_size_allowed(8)
+        assert not limits.dim_size_allowed(3)
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterLimits(max_blocks_per_cluster=0)
+        with pytest.raises(ValueError):
+            ClusterLimits(allowed_dim_sizes=())
+
+
+class TestH100Spec:
+    def setup_method(self):
+        self.spec = h100_spec()
+
+    def test_smem_capacity_is_227kb(self):
+        assert self.spec.smem_capacity_bytes == 227 * 1024
+
+    def test_has_dsm(self):
+        assert self.spec.has_dsm
+
+    def test_dsm_capacity_grows_with_cluster(self):
+        assert self.spec.dsm_capacity_bytes(2) == 227 * 1024
+        assert self.spec.dsm_capacity_bytes(16) == 227 * 1024 * 15
+        assert self.spec.dsm_capacity_bytes(1) == 0
+
+    def test_dsm_capacity_rejects_invalid_cluster(self):
+        with pytest.raises(ValueError):
+            self.spec.dsm_capacity_bytes(0)
+
+    def test_hierarchy_for_single_block_has_no_dsm(self):
+        hierarchy = self.spec.memory_hierarchy_for_cluster(1)
+        assert not hierarchy.has(MemoryLevelName.DSM)
+
+    def test_hierarchy_for_cluster_resizes_dsm(self):
+        h4 = self.spec.memory_hierarchy_for_cluster(4)
+        h8 = self.spec.memory_hierarchy_for_cluster(8)
+        assert h4.get("dsm").capacity_bytes < h8.get("dsm").capacity_bytes
+        assert h4.get("dsm").bandwidth_gbps > h8.get("dsm").bandwidth_gbps
+
+    def test_compute_exceeds_a100(self):
+        assert self.spec.peak_fp16_tflops > a100_spec().peak_fp16_tflops
+
+    def test_cycles_to_us(self):
+        assert self.spec.cycles_to_us(self.spec.clock_ghz * 1e3) == pytest.approx(1.0)
+
+    def test_time_per_flop(self):
+        assert self.spec.time_per_flop_us() == pytest.approx(
+            1.0 / (self.spec.peak_fp16_tflops * 1e6)
+        )
+
+
+class TestA100Spec:
+    def test_no_dsm(self):
+        spec = a100_spec()
+        assert not spec.has_dsm
+        assert spec.dsm_capacity_bytes(4) == 0
+
+    def test_hierarchy_never_contains_dsm(self):
+        spec = a100_spec()
+        assert not spec.memory_hierarchy_for_cluster(4).has(MemoryLevelName.DSM)

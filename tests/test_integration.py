@@ -1,0 +1,85 @@
+"""Integration tests: the full pipeline from workload to generated kernel.
+
+These tests tie the layers together the way the paper's system does:
+workload -> search engine (pruning + cost model) -> dataflow analysis ->
+execution plan -> code generation -> simulated performance -> comparison
+against baselines, plus functional validation of the selected plan's cluster
+geometry through the NumPy executor.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FlashFuser
+from repro.baselines import make_baseline
+from repro.codegen.kernel_ir import KernelSection
+from repro.dataflow.tiling import TileConfig
+from repro.ir.builders import build_standard_ffn
+from repro.ir.workloads import get_workload
+from repro.sim.executor import FunctionalExecutor, make_chain_inputs
+
+
+class TestEndToEndCompilation:
+    def test_paper_workload_pipeline(self, fast_compiler):
+        kernel = fast_compiler.compile_workload("G4")
+        # The selected plan respects every pruning rule by construction.
+        plan = kernel.plan
+        sizes = plan.chain.dimension_sizes()
+        for dim in sizes:
+            assert plan.tile.block_of(dim) <= sizes[dim]
+        # The generated source reflects the plan's cluster geometry.
+        assert plan.kernel_name in kernel.source
+        assert kernel.kernel_ir.section(KernelSection.MAINLOOP)
+
+    def test_large_workload_beats_every_baseline(self, fast_compiler):
+        chain = get_workload("G8").to_spec()
+        kernel = fast_compiler.compile(chain)
+        for name in ("pytorch", "relay", "chimera", "bolt"):
+            baseline = make_baseline(name, device=fast_compiler.device)
+            assert baseline.run(chain).time_us > kernel.time_us
+
+    def test_fused_traffic_below_pytorch(self, fast_compiler):
+        chain = get_workload("C5").to_spec()
+        kernel = fast_compiler.compile(chain)
+        pytorch = make_baseline("pytorch", device=fast_compiler.device)
+        assert kernel.traffic.total_bytes < pytorch.run(chain).global_bytes
+
+    def test_selected_plan_is_numerically_correct(self, fast_compiler):
+        # Compile a small chain, then execute its cluster geometry with the
+        # functional executor and compare against the reference.
+        _, chain = build_standard_ffn("int-func", m=64, n=256, k=128, l=128)
+        kernel = fast_compiler.compile(chain)
+        geometry = kernel.plan.geometry
+        executor = FunctionalExecutor(chain)
+        inputs = make_chain_inputs(chain, seed=9)
+        tile = TileConfig(16, 16, 16, 16)
+        if all(
+            chain.dimension_sizes()[dim] % (16 * geometry.size_of(dim)) == 0
+            for dim in ("m", "n", "k", "l")
+        ):
+            fused = executor.run_fused(inputs, geometry, tile)
+            np.testing.assert_allclose(
+                fused, executor.run_reference(inputs), rtol=1e-9, atol=1e-9
+            )
+
+    def test_dsm_ablation_consistency(self, h100, small_chain, large_chain):
+        # With DSM disabled the large chain cannot fuse; the small one still
+        # can, and its plan never uses a cluster.
+        no_dsm = FlashFuser(device=h100, include_dsm=False, top_k=3, max_tile=128)
+        small_kernel = no_dsm.compile(small_chain)
+        assert small_kernel.plan.geometry.blocks_per_cluster == 1
+        from repro.api import FusionError
+
+        with pytest.raises(FusionError):
+            no_dsm.compile(large_chain)
+
+    def test_search_is_deterministic(self, h100, small_chain):
+        first = FlashFuser(device=h100, top_k=3, max_tile=128).compile(small_chain)
+        second = FlashFuser(device=h100, top_k=3, max_tile=128).compile(small_chain)
+        assert first.plan.summary() == second.plan.summary()
+        assert first.time_us == pytest.approx(second.time_us)
+
+    def test_kernel_table_runtime_binning(self, fast_compiler, small_chain):
+        table = fast_compiler.compile_table(small_chain, m_bins=(64, 128))
+        assert table.lookup(100).plan.chain.m == 128
+        assert table.lookup(10).plan.chain.m == 64

@@ -1,0 +1,121 @@
+"""Tests for tensor specs and operators."""
+
+import pytest
+
+from repro.ir.ops import (
+    Activation,
+    ActivationKind,
+    Conv2d,
+    Elementwise,
+    ElementwiseKind,
+    Gemm,
+)
+from repro.ir.tensor import DType, TensorSpec
+
+
+class TestTensorSpec:
+    def test_basic_properties(self):
+        spec = TensorSpec("a", (128, 256), DType.FP16)
+        assert spec.rank == 2
+        assert spec.num_elements == 128 * 256
+        assert spec.num_bytes == 128 * 256 * 2
+
+    def test_fp32_itemsize(self):
+        assert TensorSpec("a", (4,), DType.FP32).num_bytes == 16
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("a", (0, 4))
+        with pytest.raises(ValueError):
+            TensorSpec("a", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("", (4,))
+
+    def test_with_name_and_shape(self):
+        spec = TensorSpec("a", (4, 4))
+        assert spec.with_name("b").name == "b"
+        assert spec.with_shape((2, 2)).shape == (2, 2)
+        assert spec.with_shape((2, 2)).name == "a"
+
+    def test_dtype_numpy_names(self):
+        assert DType.FP16.numpy_name == "float16"
+        assert DType.BF16.numpy_name == "float32"
+
+
+class TestGemm:
+    def test_shapes_and_flops(self):
+        gemm = Gemm("g", TensorSpec("a", (64, 32)), TensorSpec("b", (32, 128)))
+        assert (gemm.m, gemm.k, gemm.n) == (64, 32, 128)
+        assert gemm.flops() == 2 * 64 * 32 * 128
+        assert gemm.output.shape == (64, 128)
+        assert gemm.is_compute_intensive
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Gemm("g", TensorSpec("a", (64, 32)), TensorSpec("b", (64, 128)))
+
+    def test_rank_check(self):
+        with pytest.raises(ValueError):
+            Gemm("g", TensorSpec("a", (64, 32, 2)), TensorSpec("b", (32, 128)))
+
+    def test_io_bytes_and_intensity(self):
+        gemm = Gemm("g", TensorSpec("a", (64, 64)), TensorSpec("b", (64, 64)))
+        expected_io = 3 * 64 * 64 * 2
+        assert gemm.io_bytes() == expected_io
+        assert gemm.arithmetic_intensity() == pytest.approx(gemm.flops() / expected_io)
+
+
+class TestActivationAndElementwise:
+    def test_activation_preserves_shape(self):
+        act = Activation("a", ActivationKind.RELU, TensorSpec("x", (8, 8)))
+        assert act.output.shape == (8, 8)
+        assert not act.is_compute_intensive
+
+    def test_activation_flops_by_kind(self):
+        x = TensorSpec("x", (10, 10))
+        relu = Activation("r", ActivationKind.RELU, x)
+        silu = Activation("s", ActivationKind.SILU, x)
+        assert silu.flops() > relu.flops()
+        assert Activation("i", ActivationKind.IDENTITY, x).flops() == 0
+
+    def test_elementwise_shape_check(self):
+        with pytest.raises(ValueError):
+            Elementwise("e", ElementwiseKind.MUL, TensorSpec("a", (4, 4)), TensorSpec("b", (4, 8)))
+
+    def test_elementwise_flops(self):
+        op = Elementwise("e", ElementwiseKind.ADD, TensorSpec("a", (4, 4)), TensorSpec("b", (4, 4)))
+        assert op.flops() == 16
+
+
+class TestConv2d:
+    def _conv(self, kernel=3):
+        return Conv2d(
+            "c",
+            TensorSpec("x", (1, 56, 56, 64)),
+            TensorSpec("w", (256, 64, kernel, kernel)),
+        )
+
+    def test_output_shape_preserves_spatial(self):
+        conv = self._conv()
+        assert conv.output.shape == (1, 56, 56, 256)
+
+    def test_flops(self):
+        conv = self._conv(kernel=1)
+        assert conv.flops() == 2 * 56 * 56 * 256 * 64
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2d(
+                "c",
+                TensorSpec("x", (1, 56, 56, 32)),
+                TensorSpec("w", (256, 64, 1, 1)),
+            )
+
+    def test_im2col_dims(self):
+        conv = self._conv(kernel=3)
+        m, n, k = conv.im2col_gemm_dims()
+        assert m == 56 * 56
+        assert n == 256
+        assert k == 64 * 9

@@ -1,0 +1,94 @@
+"""Tests for the workload tables (Tables V, VI, VII) and the model zoo."""
+
+import pytest
+
+from repro.ir.graph import ChainKind
+from repro.ir.workloads import (
+    CONV_CHAIN_CONFIGS,
+    GATED_FFN_CONFIGS,
+    GEMM_CHAIN_CONFIGS,
+    MODEL_ZOO,
+    get_model,
+    get_workload,
+    list_workloads,
+)
+
+
+class TestWorkloadTables:
+    def test_table_vii_has_ten_gemm_chains(self):
+        assert len(GEMM_CHAIN_CONFIGS) == 10
+        assert set(GEMM_CHAIN_CONFIGS) == {f"G{i}" for i in range(1, 11)}
+
+    def test_table_vi_has_eight_gated_ffns(self):
+        assert len(GATED_FFN_CONFIGS) == 8
+        assert all(cfg.gated for cfg in GATED_FFN_CONFIGS.values())
+
+    def test_table_v_has_eight_conv_chains(self):
+        assert len(CONV_CHAIN_CONFIGS) == 8
+
+    def test_g5_matches_paper(self):
+        g5 = GEMM_CHAIN_CONFIGS["G5"]
+        assert (g5.m, g5.n, g5.k, g5.l) == (128, 16384, 4096, 4096)
+        assert g5.model == "GPT-6.7B"
+
+    def test_s3_matches_paper(self):
+        s3 = GATED_FFN_CONFIGS["S3"]
+        assert (s3.m, s3.n, s3.k, s3.l) == (128, 11008, 4096, 4096)
+
+    def test_c1_matches_paper(self):
+        c1 = CONV_CHAIN_CONFIGS["C1"]
+        assert (c1.in_channels, c1.height, c1.width) == (64, 56, 56)
+        assert (c1.out_channels1, c1.out_channels2) == (256, 64)
+
+    def test_every_gemm_config_has_m_128(self):
+        assert all(cfg.m == 128 for cfg in GEMM_CHAIN_CONFIGS.values())
+        assert all(cfg.m == 128 for cfg in GATED_FFN_CONFIGS.values())
+
+    def test_to_spec_kinds(self):
+        assert get_workload("G1").to_spec().kind is ChainKind.STANDARD_FFN
+        assert get_workload("S1").to_spec().kind is ChainKind.GATED_FFN
+        assert get_workload("C1").to_spec().kind is ChainKind.CONV_CHAIN
+
+    def test_to_graph_builds_operator_graph(self):
+        graph = get_workload("S1").to_graph()
+        assert len(graph.compute_intensive_operators()) == 3
+
+    def test_list_workloads(self):
+        assert len(list_workloads()) == 26
+        assert list_workloads("gemm") == [f"G{i}" for i in range(1, 11)]
+        with pytest.raises(KeyError):
+            list_workloads("unknown")
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError):
+            get_workload("Z1")
+
+
+class TestModelZoo:
+    def test_table1_models_present(self):
+        for name in ("GPT-6.7B", "LLaMA-1B", "OPT-1.3B", "BERT", "GPT-2"):
+            assert name in MODEL_ZOO
+
+    def test_large_models_present(self):
+        for name in ("Llama3-70B", "Qwen2.5-14B", "Qwen2.5-32B"):
+            assert name in MODEL_ZOO
+
+    def test_ffn_chain_dimensions(self):
+        model = get_model("GPT-6.7B")
+        chain = model.ffn_chain(seq_len=512)
+        assert chain.m == 512
+        assert chain.n == model.intermediate
+        assert chain.k == model.hidden
+        assert chain.l == model.hidden
+
+    def test_gated_models_build_gated_chains(self):
+        chain = get_model("Llama-2-7b").ffn_chain(seq_len=128)
+        assert chain.kind is ChainKind.GATED_FFN
+
+    def test_head_dim(self):
+        model = get_model("BERT")
+        assert model.head_dim * model.num_heads == model.hidden
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("GPT-5")

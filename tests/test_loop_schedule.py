@@ -1,0 +1,69 @@
+"""Tests for loop schedules and the Table IV enumeration."""
+
+import pytest
+
+from repro.dataflow.loop_schedule import (
+    LoopSchedule,
+    count_schedules,
+    enumerate_schedules,
+    iter_schedule_table,
+)
+
+
+class TestLoopSchedule:
+    def test_from_string(self):
+        schedule = LoopSchedule.from_string("m", "nlk")
+        assert schedule.is_spatial("m")
+        assert schedule.is_temporal("n")
+        assert schedule.innermost() == "k"
+
+    def test_coverage_enforced(self):
+        with pytest.raises(ValueError):
+            LoopSchedule.from_string("m", "nl")  # k missing
+        with pytest.raises(ValueError):
+            LoopSchedule.from_string("mn", "nkl")  # n twice
+
+    def test_is_outer_than(self):
+        schedule = LoopSchedule.from_string("m", "lnk")
+        assert schedule.is_outer_than("l", "n")
+        assert not schedule.is_outer_than("k", "l")
+
+    def test_temporal_position(self):
+        schedule = LoopSchedule.from_string("mn", "lk")
+        assert schedule.temporal_position("l") == 0
+        assert schedule.temporal_position("k") == 1
+
+    def test_all_spatial_has_no_innermost(self):
+        schedule = LoopSchedule.from_string("mnkl", "")
+        assert schedule.innermost() is None
+        assert schedule.num_spatial == 4
+
+    def test_label_round_trips_information(self):
+        schedule = LoopSchedule.from_string("m", "nlk")
+        assert "m" in schedule.label()
+        assert "nlk" in schedule.label()
+
+
+class TestEnumeration:
+    def test_total_is_41(self):
+        assert count_schedules() == 41
+        assert len(enumerate_schedules()) == 41
+
+    def test_table_iv_rows(self):
+        rows = dict(iter_schedule_table())
+        assert rows == {1: 24, 2: 12, 3: 4, 4: 1}
+
+    def test_enumeration_matches_closed_form_per_bucket(self):
+        schedules = enumerate_schedules()
+        for num_spatial, expected in iter_schedule_table():
+            actual = sum(1 for s in schedules if s.num_spatial == num_spatial)
+            assert actual == expected
+
+    def test_no_duplicates(self):
+        schedules = enumerate_schedules()
+        keys = {(s.spatial, s.temporal) for s in schedules}
+        assert len(keys) == len(schedules)
+
+    def test_min_spatial_zero_adds_fully_temporal_schedules(self):
+        schedules = enumerate_schedules(min_spatial=0)
+        assert len(schedules) == 41 + 24  # 4! fully temporal orders

@@ -1,0 +1,102 @@
+"""Tests for the transformer timing, roofline and end-to-end latency models."""
+
+import pytest
+
+from repro.hardware.spec import h100_spec
+from repro.ir.workloads import get_model
+from repro.models.inference import E2EConfig, InferenceLatencyModel
+from repro.models.roofline import ridge_point, roofline_analysis, roofline_performance
+from repro.models.transformer import TransformerTimingModel
+
+
+class TestTransformerTiming:
+    def test_layer_breakdown_positive(self):
+        timing = TransformerTimingModel(get_model("BERT"))
+        layer = timing.layer_breakdown(seq_len=512)
+        assert layer.attention_us > 0 and layer.ffn_us > 0 and layer.other_us > 0
+        assert layer.total_us == pytest.approx(
+            layer.attention_us + layer.ffn_us + layer.other_us
+        )
+
+    def test_ffn_share_in_paper_range(self):
+        # Table I: 40-60 % for the profiled models at seq 512.
+        for name in ("GPT-6.7B", "OPT-1.3B", "LLaMA-1B"):
+            timing = TransformerTimingModel(get_model(name))
+            share = timing.ffn_time_percentage(seq_len=512)
+            assert 35.0 <= share <= 70.0
+
+    def test_gpt67b_has_largest_ffn_share(self):
+        shares = {
+            name: TransformerTimingModel(get_model(name)).ffn_time_percentage(512)
+            for name in ("GPT-6.7B", "BERT")
+        }
+        assert shares["GPT-6.7B"] > shares["BERT"]
+
+    def test_ffn_override_reduces_total(self):
+        timing = TransformerTimingModel(get_model("OPT-1.3B"))
+        base = timing.layer_breakdown(512)
+        faster = timing.layer_breakdown(512, ffn_time_us=base.ffn_us / 2)
+        assert faster.total_us < base.total_us
+
+    def test_model_time_scales_with_layers(self):
+        timing = TransformerTimingModel(get_model("GPT-2"))
+        layer = timing.layer_breakdown(512)
+        assert timing.model_time_us(512) == pytest.approx(layer.total_us * 12)
+
+    def test_longer_sequences_take_longer(self):
+        timing = TransformerTimingModel(get_model("BERT"))
+        assert timing.model_time_us(1024) > timing.model_time_us(256)
+
+
+class TestRoofline:
+    def test_low_intensity_is_bandwidth_bound(self):
+        device = h100_spec()
+        ridge = ridge_point(device)
+        assert roofline_performance(ridge / 10, device) < device.peak_fp16_tflops
+
+    def test_high_intensity_hits_compute_roof(self):
+        device = h100_spec()
+        ridge = ridge_point(device)
+        assert roofline_performance(ridge * 10, device) == pytest.approx(device.peak_fp16_tflops)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            roofline_performance(-1.0)
+
+    def test_large_m_becomes_compute_bound(self):
+        model = get_model("Llama3-70B")
+        small = roofline_analysis([model.ffn_chain(seq_len=256)])[0]
+        large = roofline_analysis([model.ffn_chain(seq_len=8192)])[0]
+        assert large.arithmetic_intensity > small.arithmetic_intensity
+        assert large.compute_bound
+        assert not small.compute_bound
+
+
+class TestInferenceLatency:
+    @pytest.fixture(scope="class")
+    def latency_model(self):
+        return InferenceLatencyModel()
+
+    def test_flashfuser_never_slower_end_to_end(self, latency_model):
+        result = latency_model.evaluate(E2EConfig("OPT-1.3B", seq_len=512))
+        assert result.flashfuser_ms < result.baseline_ms
+        assert result.e2e_speedup > 1.0
+
+    def test_e2e_speedup_bounded_by_amdahl(self, latency_model):
+        result = latency_model.evaluate(E2EConfig("GPT-6.7B", seq_len=512))
+        amdahl_limit = 1.0 / (1.0 - result.ffn_time_fraction)
+        assert result.e2e_speedup <= amdahl_limit + 1e-6
+
+    def test_e2e_speedup_in_paper_range(self, latency_model):
+        # Figure 17 reports roughly 1.1-1.5x per model.
+        result = latency_model.evaluate(E2EConfig("Qwen2.5-1.5B", seq_len=512))
+        assert 1.0 < result.e2e_speedup < 2.0
+
+    def test_ffn_kernel_speedup_reported(self, latency_model):
+        result = latency_model.evaluate(E2EConfig("OPT-1.3B", seq_len=512))
+        assert result.ffn_kernel_speedup > 1.0
+
+    def test_cache_reuses_compiled_ffn(self, latency_model):
+        first = latency_model.evaluate(E2EConfig("OPT-1.3B", seq_len=512))
+        second = latency_model.evaluate(E2EConfig("OPT-1.3B", seq_len=512, batch=1))
+        assert first.flashfuser_ms == pytest.approx(second.flashfuser_ms)

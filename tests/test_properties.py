@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.footprint import reused_tensor_footprint
+from repro.dataflow.loop_schedule import enumerate_schedules
+from repro.dataflow.resource_map import LevelBudget, greedy_place
+from repro.dataflow.tiling import TileConfig
+from repro.dsm_comm.functional import dsm_all_exchange, dsm_reduce_scatter, dsm_shuffle
+from repro.dsm_comm.geometry import ClusterGeometry
+from repro.dsm_comm.primitives import CommPlan
+from repro.hardware.cluster import ClusterLimits
+from repro.hardware.memory import MemoryLevelName
+from repro.ir.builders import build_standard_ffn
+from repro.sim.executor import FunctionalExecutor, make_chain_inputs
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+#: All hardware-legal cluster geometries (small, fixed set).
+VALID_GEOMETRIES = list(ClusterGeometry.enumerate(ClusterLimits(), validate=True))
+
+dims = st.sampled_from([16, 32, 64, 128, 256, 512, 1024, 2048, 4096])
+schedules = st.sampled_from(enumerate_schedules())
+geometries = st.sampled_from(VALID_GEOMETRIES)
+tiles = st.builds(
+    TileConfig,
+    st.sampled_from([16, 32, 64, 128]),
+    st.sampled_from([16, 32, 64, 128]),
+    st.sampled_from([16, 32, 64]),
+    st.sampled_from([16, 32, 64, 128]),
+)
+
+
+def _chain(m, n, k, l):
+    _, spec = build_standard_ffn("prop", m=m, n=n, k=k, l=l)
+    return spec
+
+
+class TestGeometryProperties:
+    @SETTINGS
+    @given(geometry=geometries)
+    def test_shuffle_and_reduce_groups_tile_the_cluster(self, geometry):
+        # cls_shuffle * cls_reduce always reconstructs cls_n, and the block
+        # count never exceeds the hardware limit.
+        assert geometry.cls_shuffle * geometry.cls_reduce == geometry.cls_n
+        assert geometry.blocks_per_cluster <= 16
+
+    @SETTINGS
+    @given(geometry=geometries, m=dims, n=dims, k=dims, l=dims)
+    def test_comm_plan_volumes_non_negative_and_bounded(self, geometry, m, n, k, l):
+        chain = _chain(m, n, k, l)
+        plan = CommPlan.build(chain, geometry)
+        assert plan.dsm_bytes() >= 0
+        # The shuffle never moves more than (group-1) copies of C and the
+        # exchange never more than 2 copies, so the total is bounded.
+        bound = (geometry.cls_shuffle + 2) * chain.c_bytes + geometry.cls_reduce * chain.e_bytes
+        assert plan.dsm_bytes() <= bound
+
+
+class TestFootprintProperties:
+    @SETTINGS
+    @given(schedule=schedules, geometry=geometries, tile=tiles, m=dims, n=dims, k=dims, l=dims)
+    def test_footprint_positive_and_monotone_in_n(self, schedule, geometry, tile, m, n, k, l):
+        chain = _chain(m, n, k, l)
+        info = reused_tensor_footprint(chain, schedule, tile, geometry)
+        assert info.footprint_bytes > 0
+        assert info.reuse_trips >= 1
+        bigger = _chain(m, n * 2, k, l)
+        bigger_info = reused_tensor_footprint(bigger, schedule, tile, geometry)
+        assert bigger_info.footprint_bytes >= info.footprint_bytes
+
+
+class TestGreedyPlacementProperties:
+    @SETTINGS
+    @given(
+        footprint=st.floats(min_value=0, max_value=1e9),
+        reg=st.floats(min_value=0, max_value=1e6),
+        smem=st.floats(min_value=0, max_value=1e6),
+        dsm=st.floats(min_value=0, max_value=1e7),
+    )
+    def test_placement_conserves_bytes_and_orders_levels(self, footprint, reg, smem, dsm):
+        budgets = [
+            LevelBudget(MemoryLevelName.REGISTER, reg),
+            LevelBudget(MemoryLevelName.SMEM, smem),
+            LevelBudget(MemoryLevelName.DSM, dsm),
+            LevelBudget(MemoryLevelName.GLOBAL, float("inf")),
+        ]
+        placement = greedy_place("C", footprint, budgets)
+        assert placement.total_bytes == pytest.approx(footprint, rel=1e-9, abs=1e-6)
+        # No level is used beyond its budget.
+        for budget in budgets[:-1]:
+            assert placement.allocated_bytes(budget.name) <= budget.capacity_bytes + 1e-6
+        # A slower level is only used once every faster level is full.
+        order = [MemoryLevelName.REGISTER, MemoryLevelName.SMEM, MemoryLevelName.DSM]
+        capacities = {b.name: b.capacity_bytes for b in budgets}
+        for fast, slow in zip(order, order[1:]):
+            if placement.allocated_bytes(slow) > 0:
+                assert placement.allocated_bytes(fast) == pytest.approx(
+                    capacities[fast], rel=1e-9, abs=1e-6
+                )
+
+
+class TestCollectiveProperties:
+    @SETTINGS
+    @given(
+        group=st.integers(min_value=1, max_value=8),
+        rows=st.integers(min_value=1, max_value=8),
+        cols=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_all_exchange_is_order_invariant(self, group, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        blocks = [rng.standard_normal((rows, cols)) for _ in range(group)]
+        forward = dsm_all_exchange(blocks, op="add")[0]
+        backward = dsm_all_exchange(list(reversed(blocks)), op="add")[0]
+        np.testing.assert_allclose(forward, backward, rtol=1e-10, atol=1e-12)
+
+    @SETTINGS
+    @given(
+        group=st.integers(min_value=1, max_value=8),
+        rows=st.integers(min_value=1, max_value=6),
+        cols_per_block=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_shuffle_preserves_all_elements(self, group, rows, cols_per_block, seed):
+        rng = np.random.default_rng(seed)
+        blocks = [rng.standard_normal((rows, cols_per_block)) for _ in range(group)]
+        gathered = dsm_shuffle(blocks, axis=1)[0]
+        assert gathered.shape == (rows, cols_per_block * group)
+        np.testing.assert_allclose(gathered.sum(), sum(b.sum() for b in blocks))
+
+    @SETTINGS
+    @given(
+        group=st.integers(min_value=1, max_value=8),
+        rows=st.integers(min_value=1, max_value=6),
+        cols=st.integers(min_value=8, max_value=24),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_reduce_scatter_shards_sum_to_reduction(self, group, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        blocks = [rng.standard_normal((rows, cols)) for _ in range(group)]
+        shards = dsm_reduce_scatter(blocks, op="add", axis=1)
+        np.testing.assert_allclose(
+            np.concatenate(shards, axis=1), sum(blocks), rtol=1e-10, atol=1e-12
+        )
+
+
+class TestExecutorProperty:
+    @SETTINGS
+    @given(
+        geometry=st.sampled_from(
+            [g for g in VALID_GEOMETRIES if g.blocks_per_cluster <= 8]
+        ),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_fused_execution_matches_reference_for_any_geometry(self, geometry, seed):
+        # Problem extents are multiples of every cluster tile that a 16-wide
+        # block tile can produce for clusters of up to 8 blocks per dim.
+        chain = _chain(128, 256, 128, 256)
+        tile = TileConfig(16, 16, 16, 16)
+        inputs = make_chain_inputs(chain, seed=seed)
+        executor = FunctionalExecutor(chain)
+        fused = executor.run_fused(inputs, geometry, tile)
+        np.testing.assert_allclose(
+            fused, executor.run_reference(inputs), rtol=1e-9, atol=1e-9
+        )
+

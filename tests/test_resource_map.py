@@ -1,0 +1,107 @@
+"""Tests for the greedy resource mapping (Algorithm 1 lines 15-26)."""
+
+import pytest
+
+from repro.dataflow.resource_map import (
+    LevelBudget,
+    ResourceMapping,
+    TensorPlacement,
+    default_budgets,
+    greedy_place,
+)
+from repro.hardware.memory import MemoryLevelName
+from repro.hardware.spec import h100_spec
+
+
+def _budgets(reg=1000, smem=2000, dsm=4000):
+    return [
+        LevelBudget(MemoryLevelName.REGISTER, reg),
+        LevelBudget(MemoryLevelName.SMEM, smem),
+        LevelBudget(MemoryLevelName.DSM, dsm),
+        LevelBudget(MemoryLevelName.GLOBAL, float("inf")),
+    ]
+
+
+class TestGreedyPlace:
+    def test_fits_entirely_in_fastest_level(self):
+        placement = greedy_place("C", 500, _budgets())
+        assert placement.allocated_bytes("reg") == 500
+        assert placement.levels_used == ["reg"]
+        assert not placement.spills_to_global
+
+    def test_spills_progressively(self):
+        placement = greedy_place("C", 3500, _budgets())
+        assert placement.allocated_bytes("reg") == 1000
+        assert placement.allocated_bytes("smem") == 2000
+        assert placement.allocated_bytes("dsm") == 500
+        assert placement.deepest_level == "dsm"
+
+    def test_overflow_reaches_global(self):
+        placement = greedy_place("C", 10_000, _budgets())
+        assert placement.spills_to_global
+        assert placement.allocated_bytes("global") == 10_000 - 7000
+
+    def test_total_preserved(self):
+        for footprint in (0, 100, 3500, 10_000):
+            placement = greedy_place("C", footprint, _budgets())
+            assert placement.total_bytes == pytest.approx(footprint)
+
+    def test_missing_global_budget_still_records_overflow(self):
+        placement = greedy_place("C", 5000, _budgets()[:2])
+        assert placement.allocated_bytes("global") == 2000
+
+    def test_negative_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_place("C", -1, _budgets())
+
+    def test_zero_capacity_level_skipped(self):
+        budgets = [
+            LevelBudget(MemoryLevelName.REGISTER, 0),
+            LevelBudget(MemoryLevelName.SMEM, 100),
+            LevelBudget(MemoryLevelName.GLOBAL, float("inf")),
+        ]
+        placement = greedy_place("C", 50, budgets)
+        assert placement.allocated_bytes("reg") == 0
+        assert placement.allocated_bytes("smem") == 50
+
+
+class TestDefaultBudgets:
+    def test_reserves_applied(self):
+        spec = h100_spec()
+        hierarchy = spec.memory_hierarchy_for_cluster(4)
+        budgets = {b.name: b.capacity_bytes for b in default_budgets(hierarchy)}
+        assert budgets["reg"] == pytest.approx(spec.register_capacity_bytes * 0.5)
+        assert budgets["smem"] == pytest.approx(spec.smem_capacity_bytes - 32 * 1024)
+        assert budgets["global"] == float("inf")
+
+    def test_dsm_excluded_when_requested(self):
+        hierarchy = h100_spec().memory_hierarchy_for_cluster(4)
+        names = [b.name for b in default_budgets(hierarchy, include_dsm=False)]
+        assert "dsm" not in names
+
+    def test_dsm_capacity_scales_with_cluster(self):
+        spec = h100_spec()
+        b4 = {b.name: b.capacity_bytes for b in default_budgets(spec.memory_hierarchy_for_cluster(4))}
+        b8 = {b.name: b.capacity_bytes for b in default_budgets(spec.memory_hierarchy_for_cluster(8))}
+        assert b8["dsm"] > b4["dsm"]
+
+    def test_budget_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            LevelBudget("smem", -1)
+
+
+class TestResourceMapping:
+    def test_add_and_get(self):
+        mapping = ResourceMapping()
+        placement = TensorPlacement("C", {"smem": 100.0})
+        mapping.add(placement)
+        assert mapping.get("C") is placement
+        with pytest.raises(KeyError):
+            mapping.get("E")
+
+    def test_fits_on_chip(self):
+        mapping = ResourceMapping()
+        mapping.add(TensorPlacement("C", {"smem": 100.0}))
+        assert mapping.fits_on_chip()
+        mapping.add(TensorPlacement("E", {"global": 10.0}))
+        assert not mapping.fits_on_chip()

@@ -1,0 +1,183 @@
+"""Tests for the pruning rules (Section IV-C2)."""
+
+import pytest
+
+from repro.dataflow.loop_schedule import LoopSchedule
+from repro.dataflow.tiling import TileConfig
+from repro.dsm_comm.geometry import ClusterGeometry
+from repro.hardware.spec import h100_spec
+from repro.ir.builders import build_standard_ffn
+from repro.search.pruning import Pruner, PruningRule, PruningStats
+from repro.search.space import FusionCandidate
+
+
+def _chain(m=128, n=1024, k=512, l=512):
+    _, spec = build_standard_ffn("prune-chain", m=m, n=n, k=k, l=l)
+    return spec
+
+
+def _candidate(
+    chain=None,
+    spatial="m",
+    temporal="nlk",
+    tile=(128, 128, 64, 128),
+    geometry=(1, 1, 1, 1),
+):
+    return FusionCandidate(
+        chain=chain or _chain(),
+        schedule=LoopSchedule.from_string(spatial, temporal),
+        tile=TileConfig(*tile),
+        geometry=ClusterGeometry(*geometry),
+    )
+
+
+@pytest.fixture(scope="module")
+def pruner():
+    return Pruner(h100_spec(), include_dsm=True)
+
+
+@pytest.fixture(scope="module")
+def pruner_no_dsm():
+    return Pruner(h100_spec(), include_dsm=False)
+
+
+class TestRule1:
+    def test_divisible_tiles_pass(self, pruner):
+        assert pruner.rule1_divisible_tiles(_candidate())
+
+    def test_non_mma_tile_fails(self, pruner):
+        assert not pruner.rule1_divisible_tiles(_candidate(tile=(100, 128, 64, 128)))
+
+    def test_non_dividing_tile_fails_for_regular_extent(self, pruner):
+        # n=1024 is regular (multiple of 16), so a 768 tile must divide it.
+        assert not pruner.rule1_divisible_tiles(
+            _candidate(tile=(128, 768, 64, 128))
+        )
+
+    def test_oversized_tile_fails(self, pruner):
+        assert not pruner.rule1_divisible_tiles(_candidate(tile=(256, 128, 64, 128)))
+
+    def test_irregular_extent_allows_padding(self, pruner):
+        # M = 196 (C3/C4 conv chains): no MMA tile divides it, but a 16-row
+        # tile wastes under 6 % and is accepted.
+        chain = _chain(m=196)
+        assert pruner.rule1_divisible_tiles(_candidate(chain=chain, tile=(16, 128, 64, 128)))
+        assert not pruner.rule1_divisible_tiles(_candidate(chain=chain, tile=(128, 128, 64, 128)))
+
+
+class TestRule2:
+    def test_valid_cluster_passes(self, pruner):
+        assert pruner.rule2_cluster_size(_candidate(geometry=(2, 4, 2, 4)))
+
+    def test_oversized_cluster_fails(self, pruner):
+        assert not pruner.rule2_cluster_size(_candidate(geometry=(4, 4, 2, 4)))
+
+    def test_no_dsm_requires_single_block(self, pruner_no_dsm):
+        assert pruner_no_dsm.rule2_cluster_size(_candidate())
+        assert not pruner_no_dsm.rule2_cluster_size(_candidate(geometry=(1, 2, 1, 2)))
+
+
+class TestRule3:
+    def test_k_innermost_passes(self, pruner):
+        assert pruner.rule3_activation(_candidate(temporal="nlk"))
+
+    def test_k_not_innermost_fails(self, pruner):
+        assert not pruner.rule3_activation(_candidate(temporal="nkl"))
+        assert not pruner.rule3_activation(_candidate(temporal="knl"))
+
+    def test_spatial_k_needs_full_coverage(self, pruner):
+        # K = 512; 16 blocks x 64 covers 1024 >= 512: fine.
+        assert pruner.rule3_activation(
+            _candidate(spatial="km", temporal="nl", geometry=(1, 1, 16, 16), tile=(128, 128, 64, 128))
+        )
+        # 2 blocks x 64 covers only 128 < 512: partial sums would reach the
+        # activation.
+        assert not pruner.rule3_activation(
+            _candidate(spatial="km", temporal="nl", geometry=(1, 1, 2, 2), tile=(128, 128, 64, 128))
+        )
+
+
+class TestRule4:
+    def test_temporal_l_always_passes(self, pruner):
+        assert pruner.rule4_dependency(_candidate(temporal="nlk"))
+
+    def test_spatial_l_must_fit_in_cluster(self, pruner):
+        # L = 512, cluster covers 4 x 128 = 512: allowed.
+        assert pruner.rule4_dependency(
+            _candidate(spatial="lm", temporal="nk", geometry=(1, 4, 1, 4))
+        )
+        # Cluster covers only 2 x 128 = 256 < 512: pruned.
+        assert not pruner.rule4_dependency(
+            _candidate(spatial="lm", temporal="nk", geometry=(1, 2, 1, 2))
+        )
+
+    def test_spatial_n_without_dsm_requires_full_block(self, pruner_no_dsm):
+        assert not pruner_no_dsm.rule4_dependency(
+            _candidate(spatial="nm", temporal="lk", tile=(128, 128, 64, 128))
+        )
+
+
+class TestRule5:
+    def test_small_footprint_passes(self, pruner):
+        assert pruner.rule5_memory_capacity(_candidate())
+
+    def test_huge_footprint_fails_without_cluster(self, pruner):
+        chain = _chain(n=16384, k=4096, l=4096)
+        candidate = _candidate(chain=chain, temporal="lnk")
+        assert not pruner.rule5_memory_capacity(candidate)
+
+    def test_huge_footprint_passes_with_large_cluster(self, pruner):
+        # The n-outer schedule's partial-E accumulators (2 MB) fit the
+        # aggregate SMEM of a 16-block cluster but not a single SM.
+        chain = _chain(n=16384, k=4096, l=4096)
+        candidate = _candidate(chain=chain, temporal="nlk", geometry=(1, 16, 1, 16))
+        assert pruner.rule5_memory_capacity(candidate)
+        assert not pruner.rule5_memory_capacity(_candidate(chain=chain, temporal="nlk"))
+
+    def test_dsm_expands_capacity_vs_no_dsm(self, pruner, pruner_no_dsm):
+        chain = _chain(n=4096, k=2048, l=2048)
+        clustered = _candidate(chain=chain, temporal="lnk", geometry=(1, 8, 1, 8))
+        assert pruner.rule5_memory_capacity(clustered)
+        single = _candidate(chain=chain, temporal="lnk")
+        assert not pruner_no_dsm.rule5_memory_capacity(single)
+
+
+class TestCascade:
+    def test_passes_and_failed_rule(self, pruner):
+        good = _candidate()
+        assert pruner.passes(good)
+        assert pruner.failed_rule(good) is None
+        bad = _candidate(tile=(100, 128, 64, 128))
+        assert not pruner.passes(bad)
+        assert pruner.failed_rule(bad) is PruningRule.DIVISIBLE_TILES
+
+    def test_prune_list_records_stats(self, pruner):
+        candidates = [
+            _candidate(),
+            _candidate(tile=(100, 128, 64, 128)),
+            _candidate(geometry=(4, 4, 2, 4)),
+            _candidate(temporal="knl"),
+        ]
+        survivors = pruner.prune_list(candidates)
+        assert len(survivors) == 1
+        stats = pruner.stats
+        assert stats.initial == 4
+        assert stats.final == 1
+        assert stats.total_reduction() == pytest.approx(0.75)
+
+    def test_stats_rows_are_monotone_decreasing(self, pruner):
+        candidates = [
+            _candidate(geometry=(1, 2, 1, 2)),
+            _candidate(geometry=(2, 4, 2, 4)),
+            _candidate(tile=(100, 128, 64, 128)),
+            _candidate(temporal="nkl"),
+            _candidate(),
+        ]
+        pruner.prune_list(candidates)
+        rows = pruner.stats.as_rows()
+        counts = [row[1] for row in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_reduction_rate_of_empty_stats(self):
+        stats = PruningStats(initial=0)
+        assert stats.total_reduction() == 0.0

@@ -1,0 +1,130 @@
+"""Tests for the performance simulator and the memory profiler."""
+
+import pytest
+
+from repro.dataflow.analyzer import DataflowAnalyzer
+from repro.dataflow.loop_schedule import LoopSchedule
+from repro.dataflow.tiling import TileConfig
+from repro.dsm_comm.geometry import ClusterGeometry
+from repro.hardware.spec import h100_spec
+from repro.ir.builders import build_gated_ffn, build_standard_ffn
+from repro.sim.engine import KernelLaunch, PerformanceSimulator
+from repro.sim.profiler import MemoryProfiler
+
+
+def _chain(m=128, n=1024, k=512, l=512, gated=False):
+    builder = build_gated_ffn if gated else build_standard_ffn
+    _, spec = builder("sim-chain", m=m, n=n, k=k, l=l)
+    return spec
+
+
+def _result(chain=None, geometry=None, schedule="nlk"):
+    analyzer = DataflowAnalyzer(h100_spec())
+    return analyzer.analyze(
+        chain or _chain(),
+        LoopSchedule.from_string("m", schedule),
+        TileConfig(128, 128, 64, 128),
+        geometry or ClusterGeometry(1, 2, 1, 2),
+    )
+
+
+class TestKernelLaunch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelLaunch("bad", -1.0, 10.0)
+
+
+class TestPerformanceSimulator:
+    def setup_method(self):
+        self.device = h100_spec()
+        self.simulator = PerformanceSimulator(self.device)
+
+    def test_plan_time_positive_and_has_breakdown(self):
+        report = self.simulator.simulate_plan(_result())
+        assert report.time_us > 0
+        assert report.compute_us > 0
+        assert report.memory_us > 0
+        assert report.global_bytes > 0
+
+    def test_launch_overhead_included(self):
+        report = self.simulator.simulate_plan(_result())
+        assert report.time_us >= report.launch_us
+
+    def test_tflops_reported(self):
+        chain = _chain()
+        report = self.simulator.simulate_plan(_result(chain))
+        assert report.tflops == pytest.approx(chain.total_flops() / report.time_us / 1e6)
+
+    def test_more_traffic_takes_longer(self):
+        small = self.simulator.simulate_plan(_result(_chain(n=512)))
+        large = self.simulator.simulate_plan(_result(_chain(n=4096)))
+        assert large.time_us > small.time_us
+
+    def test_kernel_sequence_accumulates_launch_overheads(self):
+        kernels = [KernelLaunch(f"k{i}", 1e9, 1e6) for i in range(3)]
+        one = self.simulator.simulate_kernels(kernels[:1])
+        three = self.simulator.simulate_kernels(kernels)
+        assert three.kernels == 3
+        assert three.time_us > 2.5 * one.time_us * 0.9  # roughly linear
+
+    def test_memory_efficiency_slows_memory_bound_kernels(self):
+        fast = PerformanceSimulator(self.device, memory_efficiency=0.9)
+        slow = PerformanceSimulator(self.device, memory_efficiency=0.45)
+        kernels = [KernelLaunch("memory_bound", 1e6, 500e6)]
+        assert slow.simulate_kernels(kernels).time_us > fast.simulate_kernels(kernels).time_us
+
+    def test_profile_callback_matches_simulate_plan(self):
+        result = _result()
+        assert self.simulator.profile(result) == pytest.approx(
+            self.simulator.simulate_plan(result).time_us
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceSimulator(self.device, compute_efficiency=0.0)
+        with pytest.raises(ValueError):
+            PerformanceSimulator(self.device, overlap=1.0)
+        with pytest.raises(ValueError):
+            PerformanceSimulator(self.device, memory_efficiency=0.0)
+
+    def test_overlap_reduces_total_time(self):
+        no_overlap = PerformanceSimulator(self.device, overlap=0.0)
+        full_overlap = PerformanceSimulator(self.device, overlap=0.9)
+        result = _result(_chain(n=4096))
+        assert full_overlap.simulate_plan(result).time_us < no_overlap.simulate_plan(result).time_us
+
+
+class TestMemoryProfiler:
+    def setup_method(self):
+        self.profiler = MemoryProfiler()
+
+    def test_unfused_traffic_includes_round_trips(self):
+        chain = _chain()
+        report = self.profiler.profile_unfused(chain)
+        assert report.total_bytes > chain.io_bytes_min()
+        assert report.read_bytes > 0 and report.write_bytes > 0
+
+    def test_gated_unfused_traffic_larger(self):
+        standard = self.profiler.profile_unfused(_chain())
+        gated = self.profiler.profile_unfused(_chain(gated=True))
+        assert gated.total_bytes > standard.total_bytes
+
+    def test_fused_traffic_below_unfused(self):
+        # Use a plan whose cluster step covers the whole N and L extents so
+        # operands are streamed once (the kind of plan the search selects).
+        chain = _chain()
+        analyzer = DataflowAnalyzer(h100_spec())
+        result = analyzer.analyze(
+            chain,
+            LoopSchedule.from_string("m", "nlk"),
+            TileConfig(128, 256, 64, 256),
+            ClusterGeometry(1, 4, 1, 2),
+        )
+        ratio = self.profiler.traffic_ratio(chain, result)
+        assert ratio > 1.0
+        assert self.profiler.reduction_percent(chain, result) > 0
+
+    def test_fused_write_bytes_cover_output(self):
+        chain = _chain()
+        fused = self.profiler.profile_fused(_result(chain))
+        assert fused.write_bytes >= chain.e_bytes

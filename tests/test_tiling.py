@@ -1,0 +1,86 @@
+"""Tests for tile configurations and candidate tile enumeration."""
+
+import pytest
+
+from repro.dataflow.tiling import (
+    TileConfig,
+    candidate_tile_sizes,
+    count_unpruned_tiles,
+    enumerate_block_tiles,
+)
+from repro.dsm_comm.geometry import ClusterGeometry
+from repro.hardware.cluster import ClusterLimits
+from repro.ir.builders import build_standard_ffn
+
+
+def _chain(m=128, n=512, k=256, l=256):
+    _, spec = build_standard_ffn("tile-chain", m=m, n=n, k=k, l=l)
+    return spec
+
+
+class TestTileConfig:
+    def test_accessors(self):
+        tile = TileConfig(64, 128, 32, 16)
+        assert tile.block_of("m") == 64
+        assert tile.as_dict() == {"m": 64, "n": 128, "k": 32, "l": 16}
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            TileConfig(0, 16, 16, 16)
+
+    def test_cluster_tile_multiplies_geometry(self):
+        tile = TileConfig(64, 64, 32, 64)
+        cluster = tile.cluster_tile(ClusterGeometry(2, 4, 2, 4))
+        assert cluster == {"m": 128, "n": 256, "k": 64, "l": 256}
+
+    def test_respects_mma(self):
+        limits = ClusterLimits()
+        assert TileConfig(64, 64, 32, 64).respects_mma(limits)
+        assert not TileConfig(64, 60, 32, 64).respects_mma(limits)
+
+    def test_divides_problem_exact(self):
+        chain = _chain()
+        geometry = ClusterGeometry.single_block()
+        assert TileConfig(64, 128, 64, 64).divides_problem(chain, geometry)
+        assert not TileConfig(96, 128, 64, 64).divides_problem(chain, geometry)
+
+    def test_divides_problem_with_padding_waste(self):
+        chain = _chain(m=196)  # irregular conv-style extent
+        geometry = ClusterGeometry.single_block()
+        tile = TileConfig(16, 128, 64, 64)
+        assert not tile.divides_problem(chain, geometry)
+        assert tile.divides_problem(chain, geometry, max_padding_waste=0.10)
+
+    def test_fits_problem(self):
+        chain = _chain()
+        assert TileConfig(128, 256, 128, 128).fits_problem(chain)
+        assert not TileConfig(256, 256, 128, 128).fits_problem(chain)
+
+
+class TestCandidateTiles:
+    def test_powers_of_two_sequence(self):
+        assert candidate_tile_sizes(256) == [16, 32, 64, 128, 256]
+
+    def test_respects_max_tile(self):
+        assert max(candidate_tile_sizes(4096, max_tile=128)) == 128
+
+    def test_small_extent_gets_at_least_one(self):
+        assert candidate_tile_sizes(8) == [8]
+
+    def test_non_power_of_two_option(self):
+        sizes = candidate_tile_sizes(96, powers_of_two_only=False)
+        assert 48 in sizes and 96 in sizes
+
+    def test_rejects_non_positive_extent(self):
+        with pytest.raises(ValueError):
+            candidate_tile_sizes(0)
+
+    def test_enumerate_block_tiles_cross_product(self):
+        chain = _chain(m=64, n=64, k=64, l=64)
+        tiles = list(enumerate_block_tiles(chain, max_tile=64))
+        assert len(tiles) == 3**4  # {16,32,64} per dimension
+
+    def test_count_unpruned_tiles_matches_paper_formula(self):
+        # GPT-6.7B pruning-analysis problem: 256 x 16384 x 4096 x 4096.
+        chain = _chain(m=256, n=16384, k=4096, l=4096)
+        assert count_unpruned_tiles(chain) == (256 // 16) * (16384 // 16) * (4096 // 16) ** 2
