@@ -28,7 +28,8 @@ def compile_table_v() -> None:
         config = CONV_CHAIN_CONFIGS[workload_id]
         chain = config.to_spec()
         kernel = compiler.compile(chain)
-        reduction = profiler.reduction_percent(chain, kernel.search.best_result())
+        unfused = profiler.profile_unfused(chain).total_bytes
+        reduction = (1.0 - kernel.traffic.total_bytes / unfused) * 100.0
         dims = f"({chain.m}, {chain.n}, {chain.k}, {chain.l})"
         print(
             f"{workload_id:<9} {dims:<28} {kernel.time_us:8.1f}   {reduction:5.1f} %"

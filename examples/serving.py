@@ -1,0 +1,80 @@
+"""Serving: run FlashFuser as a long-lived kernel-serving frontend.
+
+Run with::
+
+    python examples/serving.py
+
+The example stands up a :class:`~repro.runtime.server.KernelServer` backed
+by a disk-persistent plan cache, warms the GPT-2-Small (G4) and Qwen3-0.6B
+(S8) workloads, then serves a small trace of dynamic-shape requests whose
+runtime M varies per request.  It prints where each request was resolved
+(kernel table, plan cache tier, or on-demand compile) and the final serving
+and cache metrics.  Run it twice: the second run starts warm from the disk
+store and never searches at all.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import FlashFuser, KernelServer, PlanCache
+from repro.experiments.common import format_table
+
+#: Persist plans next to the example so a re-run starts warm; swap for any
+#: shared directory to publish plans across machines.
+CACHE_DIR = Path(tempfile.gettempdir()) / "flashfuser-plan-cache"
+
+#: A small request trace: (workload, runtime M) pairs as a serving stack
+#: would see them — mixed workloads, varying token counts.
+TRACE = [
+    ("G4", 100),
+    ("G4", 128),
+    ("S8", 48),
+    ("G4", 90),
+    ("S8", 64),
+    ("S8", 200),
+    ("G4", 128),
+]
+
+
+def main() -> None:
+    compiler = FlashFuser(top_k=5, max_tile=128, cache=PlanCache(directory=CACHE_DIR))
+    server = KernelServer(compiler=compiler, m_bins=(64, 128, 256))
+
+    print(f"Plan cache directory: {CACHE_DIR}")
+    print("Warming workloads G4 and S8 at bins (64, 128)...")
+    report = server.warmup(["G4", "S8"], m_bins=(64, 128))
+    print(
+        f"  {report.jobs} jobs in {report.elapsed_s:.2f}s — "
+        f"{report.compiled} compiled, {report.cached} served from cache, "
+        f"{report.failed} failed"
+    )
+
+    print("\nServing the request trace...")
+    rows = []
+    for workload, m in TRACE:
+        response = server.request(workload, m)
+        rows.append(
+            {
+                "workload": workload,
+                "runtime_m": m,
+                "bin": response.bin_m,
+                "source": response.source,
+                "latency_us": response.latency_us,
+                "kernel_time_us": response.kernel.time_us,
+            }
+        )
+    print(format_table(rows))
+
+    snapshot = server.snapshot()
+    serving = snapshot["serving"]
+    print("\n=== Serving metrics ===")
+    print(f"  requests: {serving['requests']}  hit rate: {serving['hit_rate']:.2%}")
+    print(f"  by source: {serving['by_source']}")
+    if "cache" in snapshot:
+        print(f"  plan cache: {snapshot['cache']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,13 +18,28 @@ Typical usage::
     print(plan.summary())
 """
 
-from repro.api import CompiledKernel, FlashFuser, compile_chain
+from repro.api import (
+    CompiledKernel,
+    FlashFuser,
+    FusionError,
+    KernelTable,
+    compile_chain,
+)
 from repro.hardware import HardwareSpec, a100_spec, h100_spec
 from repro.ir import GemmChainSpec, get_workload, list_workloads
+from repro.runtime import (
+    BatchCompiler,
+    KernelServer,
+    PlanCache,
+    ServingStats,
+    warmup_workloads,
+)
 
 __all__ = [
     "CompiledKernel",
     "FlashFuser",
+    "FusionError",
+    "KernelTable",
     "compile_chain",
     "HardwareSpec",
     "a100_spec",
@@ -32,6 +47,11 @@ __all__ = [
     "GemmChainSpec",
     "get_workload",
     "list_workloads",
+    "BatchCompiler",
+    "KernelServer",
+    "PlanCache",
+    "ServingStats",
+    "warmup_workloads",
 ]
 
 __version__ = "0.1.0"

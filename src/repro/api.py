@@ -14,8 +14,9 @@ the model) and selected at runtime with a table lookup.
 from __future__ import annotations
 
 import bisect
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.codegen.cuda_emitter import emit_cuda
 from repro.codegen.kernel_ir import KernelIR, lower_plan
@@ -24,9 +25,12 @@ from repro.hardware.spec import HardwareSpec, h100_spec
 from repro.ir.graph import GemmChainSpec
 from repro.ir.workloads import get_workload
 from repro.search.cost_model import CostModel
-from repro.search.engine import SearchEngine, SearchResult
+from repro.search.engine import SearchEngine, SearchResult, SearchSummary
 from repro.sim.engine import PerformanceSimulator, SimulationReport
 from repro.sim.profiler import MemoryProfiler, TrafficReport
+
+if TYPE_CHECKING:
+    from repro.runtime.cache import PlanCache
 
 
 @dataclass
@@ -37,8 +41,15 @@ class CompiledKernel:
     kernel_ir: KernelIR
     source: str
     report: SimulationReport
-    search: SearchResult
+    #: A full :class:`SearchResult` for freshly compiled kernels, or the
+    #: persisted :class:`SearchSummary` for kernels served by the plan cache.
+    search: Union[SearchResult, SearchSummary]
     traffic: TrafficReport
+
+    @property
+    def from_cache(self) -> bool:
+        """Whether this kernel was rehydrated from the plan cache."""
+        return getattr(self.search, "from_cache", False)
 
     @property
     def time_us(self) -> float:
@@ -80,6 +91,13 @@ class FlashFuser:
         behaviour), used by the ablation experiments.
     max_tile:
         Largest block tile extent the search considers.
+    cache:
+        Optional plan cache (a :class:`~repro.runtime.cache.PlanCache`
+        instance, or a directory path from which one is created).  When set,
+        :meth:`compile` first consults the cache and stores freshly searched
+        plans back into it, so repeated compilations of canonically identical
+        chains — within this process or across process restarts — skip the
+        fusion search entirely.
     """
 
     def __init__(
@@ -88,6 +106,7 @@ class FlashFuser:
         top_k: int = 11,
         include_dsm: bool = True,
         max_tile: int = 256,
+        cache: Optional[Union["PlanCache", str, os.PathLike]] = None,
     ) -> None:
         self.device = device or h100_spec()
         self.simulator = PerformanceSimulator(self.device)
@@ -96,11 +115,48 @@ class FlashFuser:
         self.top_k = top_k
         self.include_dsm = include_dsm
         self.max_tile = max_tile
+        if isinstance(cache, (str, os.PathLike)):
+            from repro.runtime.cache import PlanCache
+
+            cache = PlanCache(directory=cache)
+        self.cache = cache
 
     # ------------------------------------------------------------------ #
     # Compilation
     # ------------------------------------------------------------------ #
+    def search_config(self) -> Dict[str, object]:
+        """The search parameters that shape compiled plans (cache key part)."""
+        return {
+            "top_k": self.top_k,
+            "include_dsm": self.include_dsm,
+            "max_tile": self.max_tile,
+        }
+
+    def cache_key(self, chain: GemmChainSpec) -> Optional[str]:
+        """The plan-cache key for ``chain``, or ``None`` without a cache."""
+        if self.cache is None:
+            return None
+        return self.cache.key_for(chain, self.device, self.search_config())
+
     def compile(self, chain: GemmChainSpec) -> CompiledKernel:
+        """Return the best fused kernel for ``chain``, consulting the cache.
+
+        With no cache attached this always runs the full fusion search
+        (:meth:`compile_uncached`); with one attached, a canonically
+        identical chain compiled before — by this process or a previous one —
+        is rehydrated from the stored plan instead.
+        """
+        if self.cache is None:
+            return self.compile_uncached(chain)
+        key = self.cache.key_for(chain, self.device, self.search_config())
+        cached = self.cache.load_kernel(key, chain=chain)
+        if cached is not None:
+            return cached
+        kernel = self.compile_uncached(chain)
+        self.cache.store_kernel(key, kernel)
+        return kernel
+
+    def compile_uncached(self, chain: GemmChainSpec) -> CompiledKernel:
         """Search, select and lower the best fused kernel for ``chain``."""
         engine = self._make_engine()
         search = engine.search(chain)
@@ -139,7 +195,13 @@ class FlashFuser:
     def compile_table(
         self, chain: GemmChainSpec, m_bins: Sequence[int]
     ) -> "KernelTable":
-        """Compile one kernel per M bin for runtime selection."""
+        """Compile one kernel per M bin for runtime selection.
+
+        Bins are compiled serially here (each one still benefits from the
+        plan cache when attached); use
+        :class:`repro.runtime.batch.BatchCompiler` to fan the bins across a
+        worker pool.
+        """
         kernels: Dict[int, CompiledKernel] = {}
         for m in m_bins:
             kernels[m] = self.compile(chain.scaled(m=m, name=f"{chain.name}_m{m}"))
@@ -181,8 +243,8 @@ class KernelTable:
         """The available M bins, ascending."""
         return sorted(self.kernels)
 
-    def lookup(self, m: int) -> CompiledKernel:
-        """Select the kernel for a runtime M: the smallest bin covering it.
+    def bin_for(self, m: int) -> int:
+        """The M bin serving a runtime M: the smallest bin covering it.
 
         Runtime M values larger than every bin fall back to the largest
         compiled kernel (which then runs multiple waves).
@@ -193,8 +255,11 @@ class KernelTable:
         if not bins:
             raise KeyError("kernel table is empty")
         index = bisect.bisect_left(bins, m)
-        selected = bins[min(index, len(bins) - 1)]
-        return self.kernels[selected]
+        return bins[min(index, len(bins) - 1)]
+
+    def lookup(self, m: int) -> CompiledKernel:
+        """Select the kernel for a runtime M via :meth:`bin_for`."""
+        return self.kernels[self.bin_for(m)]
 
 
 def compile_chain(

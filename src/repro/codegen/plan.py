@@ -15,7 +15,7 @@ from repro.dataflow.analyzer import DataflowResult
 from repro.dataflow.loop_schedule import LoopSchedule
 from repro.dataflow.tiling import TileConfig
 from repro.dsm_comm.geometry import ClusterGeometry
-from repro.dsm_comm.primitives import CommPlan
+from repro.dsm_comm.primitives import CombineOp, CommPlan, DsmPrimitive, PrimitiveKind
 from repro.ir.graph import GemmChainSpec
 
 
@@ -59,6 +59,101 @@ class ExecutionPlan:
             str(self.tile.block_of(dim)) for dim in ("m", "n", "k", "l")
         )
         return f"flashfuser_{self.chain.name}_cls{cluster}_blk{tiles}".replace("-", "_").replace(".", "_")
+
+    # ------------------------------------------------------------------ #
+    # Serialization (used by the runtime plan cache)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize the plan to plain JSON-compatible data.
+
+        The kernel IR and CUDA source are *not* stored: both are
+        deterministic functions of the plan and are regenerated on load.
+        """
+        return {
+            "chain": self.chain.to_dict(),
+            "schedule": {
+                "spatial": sorted(self.schedule.spatial),
+                "temporal": list(self.schedule.temporal),
+            },
+            "tile": self.tile.as_dict(),
+            "geometry": list(self.geometry.as_tuple()),
+            "comm": {
+                "clusters_per_output": self.comm_plan.clusters_per_output,
+                "primitives": [
+                    {
+                        "kind": primitive.kind.value,
+                        "group_size": primitive.group_size,
+                        "combine": primitive.combine.value,
+                        "volume_bytes": primitive.volume_bytes,
+                        "invocations": primitive.invocations,
+                    }
+                    for primitive in self.comm_plan.primitives
+                ],
+            },
+            "volumes": dict(self.volumes),
+            "predicted_cost_us": self.predicted_cost_us,
+            "simulated_time_us": self.simulated_time_us,
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        payload: Dict[str, object],
+        chain: Optional[GemmChainSpec] = None,
+    ) -> "ExecutionPlan":
+        """Rebuild a plan from :meth:`to_dict` output.
+
+        ``chain`` optionally substitutes the stored chain with an equally
+        shaped one — the plan cache uses this so an entry compiled under one
+        workload name serves requests made under another.
+        """
+        stored_chain = GemmChainSpec.from_dict(payload["chain"])  # type: ignore[arg-type]
+        if chain is not None:
+            if not chain.same_shape(stored_chain):
+                raise ValueError(
+                    "substitute chain does not match the serialized plan: "
+                    f"{chain.canonical_dict()} != {stored_chain.canonical_dict()}"
+                )
+            stored_chain = chain
+        schedule_payload = payload["schedule"]
+        schedule = LoopSchedule(
+            spatial=frozenset(schedule_payload["spatial"]),
+            temporal=tuple(schedule_payload["temporal"]),
+        )
+        tile_payload = payload["tile"]
+        tile = TileConfig(
+            block_m=int(tile_payload["m"]),
+            block_n=int(tile_payload["n"]),
+            block_k=int(tile_payload["k"]),
+            block_l=int(tile_payload["l"]),
+        )
+        geometry = ClusterGeometry(*(int(v) for v in payload["geometry"]))
+        comm_payload = payload["comm"]
+        comm_plan = CommPlan(
+            chain=stored_chain,
+            geometry=geometry,
+            primitives=[
+                DsmPrimitive(
+                    kind=PrimitiveKind(entry["kind"]),
+                    group_size=int(entry["group_size"]),
+                    combine=CombineOp(entry["combine"]),
+                    volume_bytes=float(entry["volume_bytes"]),
+                    invocations=int(entry["invocations"]),
+                )
+                for entry in comm_payload["primitives"]
+            ],
+            clusters_per_output=int(comm_payload["clusters_per_output"]),
+        )
+        return cls(
+            chain=stored_chain,
+            schedule=schedule,
+            tile=tile,
+            geometry=geometry,
+            comm_plan=comm_plan,
+            volumes={str(k): float(v) for k, v in payload["volumes"].items()},
+            predicted_cost_us=payload.get("predicted_cost_us"),
+            simulated_time_us=payload.get("simulated_time_us"),
+        )
 
     def summary(self) -> Dict[str, object]:
         """Compact dictionary used by experiment reports."""

@@ -36,7 +36,11 @@ def run(
         chain = chain_for(workload_id)
         compiled = cache.get(workload_id)
         unfused = profiler.profile_unfused(chain)
-        fused = profiler.profile_fused(compiled.search.best_result())
+        # The compiled kernel carries its fused traffic report; using it
+        # (rather than re-profiling the search result) also works for
+        # kernels served by the runtime plan cache, which persist the
+        # traffic but not the full search state.
+        fused = compiled.traffic
         ratio = unfused.total_bytes / fused.total_bytes
         rows.append(
             {

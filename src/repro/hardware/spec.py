@@ -124,6 +124,36 @@ class HardwareSpec:
             )
         return MemoryHierarchy(levels)
 
+    def fingerprint(self) -> dict:
+        """Stable description of everything that can change a fusion plan.
+
+        The plan cache folds this into its keys so entries compiled for one
+        device model are never served to another (capacities, bandwidths and
+        cluster limits all steer the search).
+        """
+        return {
+            "name": self.name,
+            "num_sms": self.num_sms,
+            "peak_fp16_tflops": self.peak_fp16_tflops,
+            "clock_ghz": self.clock_ghz,
+            "bytes_per_element": self.bytes_per_element,
+            "has_dsm": self.has_dsm,
+            "levels": [
+                [
+                    level.name,
+                    level.capacity_bytes,
+                    level.bandwidth_gbps,
+                    level.latency_cycles,
+                ]
+                for level in self.hierarchy
+            ],
+            "cluster_limits": [
+                self.cluster_limits.max_blocks_per_cluster,
+                list(self.cluster_limits.allowed_dim_sizes),
+                list(self.cluster_limits.mma_tile),
+            ],
+        }
+
     def time_per_flop_us(self) -> float:
         """Time in microseconds to execute one FP16 FLOP at peak."""
         return 1.0 / (self.peak_fp16_tflops * 1e6)

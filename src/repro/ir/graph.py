@@ -13,6 +13,8 @@ Two representations coexist, mirroring the paper:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -162,6 +164,54 @@ class GemmChainSpec:
     def arithmetic_intensity(self) -> float:
         """FLOPs per byte at the fused lower bound."""
         return self.total_flops() / self.io_bytes_min()
+
+    # Serialization and canonical identity ------------------------------- #
+    def to_dict(self) -> Dict[str, object]:
+        """Full serialization (including the name) for plan persistence."""
+        payload = self.canonical_dict()
+        payload["name"] = self.name
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "GemmChainSpec":
+        """Rebuild a chain spec from :meth:`to_dict` output."""
+        return cls(
+            name=str(payload["name"]),
+            m=int(payload["m"]),
+            n=int(payload["n"]),
+            k=int(payload["k"]),
+            l=int(payload["l"]),
+            kind=ChainKind(payload["kind"]),
+            activation=ActivationKind(payload["activation"]),
+            dtype=DType(payload["dtype"]),
+        )
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """The chain's canonical identity: everything except the name.
+
+        Two chains with equal canonical dictionaries admit the same fusion
+        plans, so the plan cache keys on this form — a workload compiled
+        under one name serves requests for an identically shaped chain
+        registered under another.
+        """
+        return {
+            "m": self.m,
+            "n": self.n,
+            "k": self.k,
+            "l": self.l,
+            "kind": self.kind.value,
+            "activation": self.activation.value,
+            "dtype": self.dtype.value,
+        }
+
+    def canonical_hash(self) -> str:
+        """Stable hex digest of the canonical identity."""
+        blob = json.dumps(self.canonical_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def same_shape(self, other: "GemmChainSpec") -> bool:
+        """Whether ``other`` is canonically identical (names may differ)."""
+        return self.canonical_dict() == other.canonical_dict()
 
     def scaled(self, m: Optional[int] = None, name: Optional[str] = None) -> "GemmChainSpec":
         """Return a copy with a different M (used by the runtime binning)."""

@@ -1,0 +1,395 @@
+"""Two-tier persistent plan cache.
+
+The fusion search dominates FlashFuser's compile cost (Table VIII); its
+*output* — the selected execution plan — is tiny.  The cache exploits that
+asymmetry with two tiers:
+
+* an **in-process LRU** of deserialized entries plus rehydrated
+  :class:`~repro.api.CompiledKernel` objects (sub-microsecond hits), and
+* a **disk-backed JSON store** (one file per key) that survives process
+  restarts and is shared by every process pointing at the same directory.
+
+Keys are stable SHA-256 digests of the chain's canonical identity
+(:meth:`~repro.ir.graph.GemmChainSpec.canonical_dict` — the name is
+excluded, so equally shaped chains share entries), the device fingerprint
+(:meth:`~repro.hardware.spec.HardwareSpec.fingerprint`) and the search
+configuration.  Entries store the serialized plan, simulation report, search
+summary and traffic report; the kernel IR and CUDA source are regenerated
+deterministically from the plan on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.api import CompiledKernel
+from repro.codegen.cuda_emitter import emit_cuda
+from repro.codegen.kernel_ir import lower_plan
+from repro.codegen.plan import ExecutionPlan
+from repro.hardware.spec import HardwareSpec
+from repro.ir.graph import GemmChainSpec
+from repro.search.engine import SearchSummary
+from repro.sim.engine import SimulationReport
+from repro.sim.profiler import TrafficReport
+
+#: Bumped whenever the serialized entry layout changes; old-format disk
+#: entries are treated as misses instead of raising.
+CACHE_FORMAT_VERSION = 1
+
+#: Resolution tiers reported by :meth:`PlanCache.tier_of`.
+TIER_MEMORY = "memory"
+TIER_DISK = "disk"
+
+
+def plan_cache_key(
+    chain: GemmChainSpec,
+    device: HardwareSpec,
+    search_config: Optional[Dict[str, object]] = None,
+) -> str:
+    """Stable cache key for one (chain shape, device, search config) triple."""
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "chain": chain.canonical_dict(),
+        "device": device.fingerprint(),
+        "search": dict(sorted((search_config or {}).items())),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class PlanCacheEntry:
+    """One cached compilation: serialized plan, report, search and traffic."""
+
+    key: str
+    plan: Dict[str, object]
+    report: Dict[str, object]
+    search: Dict[str, object]
+    traffic: Dict[str, object]
+    created_at: float = field(default_factory=time.time)
+
+    @classmethod
+    def from_kernel(cls, key: str, kernel: CompiledKernel) -> "PlanCacheEntry":
+        """Serialize a freshly compiled kernel into a cache entry."""
+        search = kernel.search
+        summary = search if isinstance(search, SearchSummary) else search.summary()
+        return cls(
+            key=key,
+            plan=kernel.plan.to_dict(),
+            report=kernel.report.to_dict(),
+            search=summary.to_dict(),
+            traffic={
+                "strategy": kernel.traffic.strategy,
+                "read_bytes": kernel.traffic.read_bytes,
+                "write_bytes": kernel.traffic.write_bytes,
+            },
+        )
+
+    def rehydrate(self, chain: Optional[GemmChainSpec] = None) -> CompiledKernel:
+        """Rebuild a :class:`CompiledKernel` from the stored plan.
+
+        ``chain`` substitutes an equally shaped chain for the stored one, so
+        an entry compiled under workload A serves a request phrased as
+        workload B.  The kernel IR and source are regenerated from the plan.
+        """
+        plan = ExecutionPlan.from_dict(self.plan, chain=chain)
+        return CompiledKernel(
+            plan=plan,
+            kernel_ir=lower_plan(plan),
+            source=emit_cuda(plan),
+            report=SimulationReport.from_dict(self.report),
+            search=SearchSummary.from_dict(self.search, from_cache=True),
+            traffic=TrafficReport(
+                strategy=str(self.traffic["strategy"]),
+                read_bytes=float(self.traffic["read_bytes"]),
+                write_bytes=float(self.traffic["write_bytes"]),
+            ),
+        )
+
+    # JSON round trip ---------------------------------------------------- #
+    def to_json(self) -> str:
+        """Serialize the entry to a JSON document."""
+        return json.dumps(
+            {
+                "version": CACHE_FORMAT_VERSION,
+                "key": self.key,
+                "created_at": self.created_at,
+                "plan": self.plan,
+                "report": self.report,
+                "search": self.search,
+                "traffic": self.traffic,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, blob: str) -> Optional["PlanCacheEntry"]:
+        """Parse a JSON document; returns ``None`` for unreadable/old data."""
+        try:
+            payload = json.loads(blob)
+        except (ValueError, TypeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            return None
+        try:
+            return cls(
+                key=str(payload["key"]),
+                plan=payload["plan"],
+                report=payload["report"],
+                search=payload["search"],
+                traffic=payload["traffic"],
+                created_at=float(payload.get("created_at", 0.0)),
+            )
+        except KeyError:
+            return None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`PlanCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit either tier."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dictionary view of the counters."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate(),
+        }
+
+
+class PlanCache:
+    """Two-tier (in-process LRU + disk JSON) execution-plan cache.
+
+    Parameters
+    ----------
+    directory:
+        Disk-store location.  ``None`` keeps the cache memory-only; the
+        directory is created on first write otherwise.
+    max_memory_entries:
+        LRU capacity of the in-process tier.  Evicted entries remain
+        loadable from disk when a directory is configured.
+
+    All operations are thread-safe; the
+    :class:`~repro.runtime.batch.BatchCompiler` relies on this to fan
+    compile jobs across a worker pool with a shared cache.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, os.PathLike]] = None,
+        max_memory_entries: int = 128,
+    ) -> None:
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be >= 1")
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None and self.directory.exists() and not self.directory.is_dir():
+            raise ValueError(f"cache directory {self.directory} is not a directory")
+        self.max_memory_entries = max_memory_entries
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, PlanCacheEntry]" = OrderedDict()
+        # Rehydrated kernels memoized per (key, served chain name) so hot
+        # requests skip re-lowering; bounded by the same LRU capacity.
+        self._kernels: "OrderedDict[tuple, CompiledKernel]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Keys
+    # ------------------------------------------------------------------ #
+    def key_for(
+        self,
+        chain: GemmChainSpec,
+        device: HardwareSpec,
+        search_config: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Compute the cache key for one compilation request."""
+        return plan_cache_key(chain, device, search_config)
+
+    # ------------------------------------------------------------------ #
+    # Entry-level interface
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[PlanCacheEntry]:
+        """Look an entry up, promoting disk hits into the memory tier.
+
+        The disk read happens outside the lock so concurrent warm lookups
+        of different keys do not serialize on file I/O; a racing promotion
+        of the same key is harmless (both threads read identical content).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.memory_hits += 1
+                return entry
+        entry = self._read_disk(key)
+        with self._lock:
+            if entry is not None:
+                self.stats.disk_hits += 1
+                self._remember(key, entry)
+                return entry
+            promoted = self._entries.get(key)
+            if promoted is not None:
+                self._entries.move_to_end(key)
+                self.stats.memory_hits += 1
+                return promoted
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, entry: PlanCacheEntry, write_disk: bool = True) -> None:
+        """Insert an entry into the memory tier and (optionally) to disk."""
+        with self._lock:
+            self._remember(key, entry)
+            self.stats.stores += 1
+            if write_disk and self.directory is not None:
+                self._write_disk(key, entry)
+
+    def tier_of(self, key: str) -> Optional[str]:
+        """Which tier currently holds ``key`` (without counting a lookup)."""
+        with self._lock:
+            if key in self._entries:
+                return TIER_MEMORY
+            if self.directory is not None and self._disk_path(key).exists():
+                return TIER_DISK
+            return None
+
+    def contains(self, key: str) -> bool:
+        """Whether either tier holds ``key``."""
+        return self.tier_of(key) is not None
+
+    # ------------------------------------------------------------------ #
+    # Kernel-level interface (what FlashFuser calls)
+    # ------------------------------------------------------------------ #
+    def load_kernel(
+        self, key: str, chain: Optional[GemmChainSpec] = None
+    ) -> Optional[CompiledKernel]:
+        """Return the cached kernel for ``key``, rehydrating as needed.
+
+        Rehydration (plan deserialization, IR lowering, source emission)
+        runs outside the lock so parallel workers sharing this cache do not
+        serialize on it; racing threads may rehydrate the same entry twice,
+        which costs a few milliseconds and yields equivalent kernels.
+        """
+        memo_key = (key, chain.name if chain is not None else None)
+        with self._lock:
+            kernel = self._kernels.get(memo_key)
+            if kernel is not None:
+                self._kernels.move_to_end(memo_key)
+                self.stats.memory_hits += 1
+                return kernel
+        entry = self.get(key)
+        if entry is None:
+            return None
+        kernel = entry.rehydrate(chain=chain)
+        with self._lock:
+            existing = self._kernels.get(memo_key)
+            if existing is not None:
+                return existing
+            self._kernels[memo_key] = kernel
+            while len(self._kernels) > self.max_memory_entries:
+                self._kernels.popitem(last=False)
+        return kernel
+
+    def store_kernel(self, key: str, kernel: CompiledKernel) -> PlanCacheEntry:
+        """Serialize and store a freshly compiled kernel."""
+        entry = PlanCacheEntry.from_kernel(key, kernel)
+        with self._lock:
+            self.put(key, entry)
+            memo_key = (key, kernel.plan.chain.name)
+            self._kernels[memo_key] = kernel
+            while len(self._kernels) > self.max_memory_entries:
+                self._kernels.popitem(last=False)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def memory_keys(self) -> List[str]:
+        """Keys currently resident in the memory tier (LRU order)."""
+        with self._lock:
+            return list(self._entries)
+
+    def disk_keys(self) -> List[str]:
+        """Keys currently present in the disk store."""
+        if self.directory is None or not self.directory.exists():
+            return []
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier; with ``disk=True`` also delete disk entries."""
+        with self._lock:
+            self._entries.clear()
+            self._kernels.clear()
+            if disk and self.directory is not None and self.directory.exists():
+                for path in self.directory.glob("*.json"):
+                    path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _remember(self, key: str, entry: PlanCacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_memory_entries:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            # Drop rehydrated kernels belonging to the evicted entry too.
+            for memo_key in [k for k in self._kernels if k[0] == evicted_key]:
+                del self._kernels[memo_key]
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def _read_disk(self, key: str) -> Optional[PlanCacheEntry]:
+        if self.directory is None:
+            return None
+        path = self._disk_path(key)
+        try:
+            blob = path.read_text(encoding="utf-8")
+        except (OSError, FileNotFoundError):
+            return None
+        return PlanCacheEntry.from_json(blob)
+
+    def _write_disk(self, key: str, entry: PlanCacheEntry) -> None:
+        assert self.directory is not None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._disk_path(key)
+        # Write-then-rename keeps concurrent readers from seeing torn files.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        tmp.write_text(entry.to_json(), encoding="utf-8")
+        os.replace(tmp, path)

@@ -1,0 +1,227 @@
+"""Kernel-serving frontend for dynamic-shape requests.
+
+:class:`KernelServer` implements the paper's Section IV-C3 runtime strategy
+as a long-lived service: requests name a workload and a *runtime* M (the
+token/batch dimension that varies per request); the server resolves them
+through a chain of progressively more expensive sources:
+
+1. the per-workload **kernel table** (in-process dict hit),
+2. the **plan cache** (memory tier, then the disk store shared across
+   processes), and
+3. an **on-demand compile** fallback that runs the full fusion search and
+   back-fills both the cache and the table.
+
+Every request records its resolution source and latency into a
+:class:`~repro.runtime.stats.ServingStats` sink, so hit rates and tail
+behaviour are observable.  :meth:`KernelServer.warmup` precompiles the
+paper's workload suites so steady-state traffic never leaves source 1.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.api import CompiledKernel, FlashFuser, KernelTable
+from repro.ir.graph import GemmChainSpec
+from repro.ir.workloads import get_chain_spec
+from repro.runtime.batch import BatchCompiler
+from repro.runtime.cache import TIER_DISK, TIER_MEMORY, PlanCache
+from repro.runtime.stats import ServingStats
+from repro.runtime.warmup import WarmupReport, warmup_workloads
+
+#: Resolution sources recorded per request.
+SOURCE_TABLE = "table"
+SOURCE_CACHE_MEMORY = "cache:memory"
+SOURCE_CACHE_DISK = "cache:disk"
+SOURCE_COMPILED = ServingStats.COMPILED
+
+#: Default M bins: powers of two covering decode batches through prefill
+#: chunks (requests above the largest bin reuse its kernel across waves).
+DEFAULT_M_BINS: Tuple[int, ...] = (16, 32, 64, 128, 256, 512)
+
+
+@dataclass
+class ServeResponse:
+    """One served kernel request."""
+
+    workload: str
+    m: int
+    bin_m: int
+    kernel: CompiledKernel
+    source: str
+    latency_us: float
+
+
+class KernelServer:
+    """Resolve (workload, runtime M) requests to compiled kernels.
+
+    Parameters
+    ----------
+    compiler:
+        The compiler backing cache misses (a default H100
+        :class:`FlashFuser` when omitted).
+    cache:
+        Plan cache attached to the compiler when it has none (pass a
+        :class:`~repro.runtime.cache.PlanCache` or rely on the compiler's
+        own).  Without any cache the server still memoizes kernels in its
+        tables, but nothing survives a restart.
+    m_bins:
+        The M bins requests are quantised to (ascending after dedup).
+    stats:
+        Metrics sink (a fresh :class:`ServingStats` when omitted).
+    max_workers:
+        Worker-pool width used by :meth:`warmup`.
+    """
+
+    def __init__(
+        self,
+        compiler: Optional[FlashFuser] = None,
+        cache=None,
+        m_bins: Optional[Sequence[int]] = None,
+        stats: Optional[ServingStats] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if cache is not None and not isinstance(cache, PlanCache):
+            cache = PlanCache(directory=cache)
+        if compiler is None:
+            compiler = FlashFuser(cache=cache)
+        elif cache is not None and compiler.cache is None:
+            compiler.cache = cache
+        self.compiler = compiler
+        self.cache = compiler.cache
+        bins = tuple(sorted(set(m_bins if m_bins is not None else DEFAULT_M_BINS)))
+        if not bins:
+            raise ValueError("m_bins must be non-empty")
+        if any(m <= 0 for m in bins):
+            raise ValueError("m_bins must be positive")
+        self.m_bins = bins
+        self.stats = stats or ServingStats()
+        self.batch = BatchCompiler(compiler, max_workers=max_workers)
+        self._tables: Dict[str, KernelTable] = {}
+        self._chains: Dict[str, GemmChainSpec] = {}
+        self._lock = threading.RLock()
+        # One lock per (workload, bin) so concurrent first requests for the
+        # same kernel run a single search instead of racing duplicates.
+        self._inflight: Dict[Tuple[str, int], threading.Lock] = {}
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    def bin_for(self, m: int) -> int:
+        """Quantise a runtime M to the smallest covering bin (or largest)."""
+        if m <= 0:
+            raise ValueError("m must be positive")
+        index = bisect.bisect_left(self.m_bins, m)
+        return self.m_bins[min(index, len(self.m_bins) - 1)]
+
+    def request(self, workload_id: str, m: int) -> ServeResponse:
+        """Serve one dynamic-shape request.
+
+        Raises :class:`~repro.api.FusionError` when the request falls
+        through to an on-demand compile and no feasible fused plan exists.
+        """
+        start = time.perf_counter()
+        bin_m = self.bin_for(m)
+        base = self._base_chain(workload_id)
+        with self._lock:
+            table = self._tables.setdefault(
+                workload_id, KernelTable(chain=base)
+            )
+            kernel = table.kernels.get(bin_m)
+        source = SOURCE_TABLE
+        if kernel is None:
+            with self._lock:
+                inflight = self._inflight.setdefault(
+                    (workload_id, bin_m), threading.Lock()
+                )
+            with inflight:
+                # Another request may have resolved this bin while we waited.
+                with self._lock:
+                    kernel = table.kernels.get(bin_m)
+                if kernel is None:
+                    binned = base.scaled(m=bin_m, name=f"{base.name}_m{bin_m}")
+                    kernel, source = self._resolve_miss(binned)
+                    with self._lock:
+                        table.kernels[bin_m] = kernel
+        latency_us = (time.perf_counter() - start) * 1e6
+        self.stats.record_request(workload_id, source, latency_us)
+        return ServeResponse(
+            workload=workload_id,
+            m=m,
+            bin_m=bin_m,
+            kernel=kernel,
+            source=source,
+            latency_us=latency_us,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Warmup and introspection
+    # ------------------------------------------------------------------ #
+    def warmup(
+        self,
+        workload_ids: Optional[Sequence[str]] = None,
+        m_bins: Optional[Sequence[int]] = None,
+    ) -> WarmupReport:
+        """Precompile workloads into the cache and this server's tables."""
+        report = warmup_workloads(
+            self.batch,
+            workload_ids=workload_ids,
+            m_bins=m_bins if m_bins is not None else self.m_bins,
+        )
+        with self._lock:
+            for workload_id, table in report.tables.items():
+                existing = self._tables.setdefault(
+                    workload_id, KernelTable(chain=table.chain)
+                )
+                existing.kernels.update(table.kernels)
+        return report
+
+    def table_for(self, workload_id: str) -> Optional[KernelTable]:
+        """The kernel table currently held for ``workload_id`` (or ``None``)."""
+        with self._lock:
+            return self._tables.get(workload_id)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Combined serving and cache metrics."""
+        payload: Dict[str, object] = {"serving": self.stats.snapshot()}
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats.snapshot()
+        with self._lock:
+            payload["tables"] = {
+                workload_id: table.bins()
+                for workload_id, table in self._tables.items()
+            }
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _base_chain(self, workload_id: str) -> GemmChainSpec:
+        with self._lock:
+            chain = self._chains.get(workload_id)
+            if chain is None:
+                chain = get_chain_spec(workload_id)
+                self._chains[workload_id] = chain
+            return chain
+
+    def _resolve_miss(self, chain: GemmChainSpec):
+        """Resolve a table miss through the cache, then on-demand compile.
+
+        The cache is consulted directly (rather than inferring the source
+        afterwards) so the recorded source is what actually happened — an
+        unreadable disk entry, for example, is reported as a compile.
+        """
+        if self.cache is not None:
+            key = self.compiler.cache_key(chain)
+            tier = self.cache.tier_of(key)
+            kernel = self.cache.load_kernel(key, chain=chain)
+            if kernel is not None:
+                source = (
+                    SOURCE_CACHE_MEMORY if tier == TIER_MEMORY else SOURCE_CACHE_DISK
+                )
+                return kernel, source
+        return self.compiler.compile(chain), SOURCE_COMPILED

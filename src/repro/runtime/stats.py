@@ -1,0 +1,124 @@
+"""Serving metrics: per-request counters and latency aggregation.
+
+:class:`ServingStats` is the metrics sink shared by the runtime layer — the
+:class:`~repro.runtime.server.KernelServer` records every request's
+resolution source (kernel table, plan cache tier, or on-demand compile) and
+its wall-clock resolution latency.  Snapshots are plain dictionaries so they
+can be logged, asserted on in tests, or exported to any metrics backend.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class LatencySummary:
+    """Streaming aggregate of one latency series (microseconds)."""
+
+    count: int = 0
+    total_us: float = 0.0
+    min_us: float = float("inf")
+    max_us: float = 0.0
+
+    def record(self, latency_us: float) -> None:
+        """Fold one observation into the aggregate."""
+        if latency_us < 0:
+            raise ValueError("latency_us must be non-negative")
+        self.count += 1
+        self.total_us += latency_us
+        self.min_us = min(self.min_us, latency_us)
+        self.max_us = max(self.max_us, latency_us)
+
+    @property
+    def mean_us(self) -> float:
+        """Average latency, 0.0 before any observation."""
+        return self.total_us / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dictionary view of the aggregate."""
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "min_us": self.min_us if self.count else 0.0,
+            "max_us": self.max_us,
+        }
+
+
+class ServingStats:
+    """Thread-safe request metrics for the kernel-serving frontend.
+
+    Tracks total requests, per-source and per-workload counts, and a
+    :class:`LatencySummary` per resolution source.  A request is a *hit*
+    when it was satisfied without running the fusion search (table or cache
+    sources); the on-demand ``"compiled"`` source is the only miss.
+    """
+
+    #: The resolution source recorded for on-demand compiles (the only miss).
+    COMPILED = "compiled"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.by_source: Counter = Counter()
+        self.by_workload: Counter = Counter()
+        self.latency: Dict[str, LatencySummary] = {}
+        self.overall_latency = LatencySummary()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_request(self, workload: str, source: str, latency_us: float) -> None:
+        """Record one served request."""
+        with self._lock:
+            self.requests += 1
+            self.by_source[source] += 1
+            self.by_workload[workload] += 1
+            self.latency.setdefault(source, LatencySummary()).record(latency_us)
+            self.overall_latency.record(latency_us)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def misses(self) -> int:
+        """Requests that fell through to an on-demand fusion search."""
+        return self.by_source[self.COMPILED]
+
+    @property
+    def hits(self) -> int:
+        """Requests satisfied without running the fusion search."""
+        return self.requests - self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of requests served without a search (0.0 when idle)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dictionary view of every counter and latency aggregate."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate(),
+                "by_source": dict(self.by_source),
+                "by_workload": dict(self.by_workload),
+                "latency_us": {
+                    source: summary.snapshot()
+                    for source, summary in self.latency.items()
+                },
+                "overall_latency_us": self.overall_latency.snapshot(),
+            }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        with self._lock:
+            self.requests = 0
+            self.by_source.clear()
+            self.by_workload.clear()
+            self.latency.clear()
+            self.overall_latency = LatencySummary()

@@ -68,6 +68,74 @@ class SearchResult:
             raise RuntimeError("search found no feasible fused plan")
         return self.best.result
 
+    def summary(self) -> "SearchSummary":
+        """Compact, serializable summary of this search."""
+        return SearchSummary.from_result(self)
+
+
+@dataclass
+class SearchSummary:
+    """Serializable digest of one fusion search.
+
+    The plan cache persists this instead of the full :class:`SearchResult`
+    (whose ranked candidates hold analyzer state that is expensive to store
+    and never needed again).  It exposes the fields downstream consumers
+    read — :attr:`succeeded`, :attr:`search_time_s`,
+    :attr:`candidates_analyzed` — so a cache-served kernel walks and talks
+    like a freshly compiled one.
+    """
+
+    workload: str
+    succeeded: bool
+    candidates_enumerated: int
+    candidates_analyzed: int
+    search_time_s: float
+    predicted_cost_us: Optional[float] = None
+    profiled_time_us: Optional[float] = None
+    #: ``True`` when this summary was served by the plan cache rather than
+    #: produced by a live search.
+    from_cache: bool = False
+
+    @classmethod
+    def from_result(cls, result: SearchResult) -> "SearchSummary":
+        """Digest a full search result."""
+        best = result.best
+        return cls(
+            workload=result.chain.name,
+            succeeded=result.succeeded,
+            candidates_enumerated=result.candidates_enumerated,
+            candidates_analyzed=result.candidates_analyzed,
+            search_time_s=result.search_time_s,
+            predicted_cost_us=best.predicted_cost_us if best else None,
+            profiled_time_us=best.profiled_time_us if best else None,
+        )
+
+    def to_dict(self) -> dict:
+        """Serialize to plain JSON-compatible data."""
+        return {
+            "workload": self.workload,
+            "succeeded": self.succeeded,
+            "candidates_enumerated": self.candidates_enumerated,
+            "candidates_analyzed": self.candidates_analyzed,
+            "search_time_s": self.search_time_s,
+            "predicted_cost_us": self.predicted_cost_us,
+            "profiled_time_us": self.profiled_time_us,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, from_cache: bool = False) -> "SearchSummary":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        return cls(
+            workload=str(payload["workload"]),
+            succeeded=bool(payload["succeeded"]),
+            candidates_enumerated=int(payload["candidates_enumerated"]),
+            candidates_analyzed=int(payload["candidates_analyzed"]),
+            search_time_s=float(payload["search_time_s"]),
+            predicted_cost_us=payload.get("predicted_cost_us"),
+            profiled_time_us=payload.get("profiled_time_us"),
+            from_cache=from_cache,
+        )
+
 
 class SearchEngine:
     """FlashFuser's fusion search engine.
@@ -133,7 +201,9 @@ class SearchEngine:
         for candidate in pruner.prune(candidates):
             enumerated += 1
             if self.max_candidates is not None and analyzed >= self.max_candidates:
-                continue
+                # The analysis budget is exhausted; draining the rest of the
+                # pruned stream would only burn time without adding plans.
+                break
             result = self.analyzer.analyze(
                 chain,
                 candidate.schedule,

@@ -66,6 +66,40 @@ class SimulationReport:
         self._flops = flops
         return self
 
+    # ------------------------------------------------------------------ #
+    # Serialization (used by the runtime plan cache)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, float]:
+        """Serialize the report to plain JSON-compatible data."""
+        return {
+            "time_us": self.time_us,
+            "compute_us": self.compute_us,
+            "memory_us": self.memory_us,
+            "launch_us": self.launch_us,
+            "global_bytes": self.global_bytes,
+            "dsm_bytes": self.dsm_bytes,
+            "per_level_us": dict(self.per_level_us),
+            "kernels": self.kernels,
+            "flops": self._flops,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimulationReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        report = cls(
+            time_us=float(payload["time_us"]),
+            compute_us=float(payload["compute_us"]),
+            memory_us=float(payload["memory_us"]),
+            launch_us=float(payload["launch_us"]),
+            global_bytes=float(payload["global_bytes"]),
+            dsm_bytes=float(payload["dsm_bytes"]),
+            per_level_us={
+                str(k): float(v) for k, v in payload.get("per_level_us", {}).items()
+            },
+            kernels=int(payload.get("kernels", 1)),
+        )
+        return report.with_flops(float(payload.get("flops", 0.0)))
+
 
 class PerformanceSimulator:
     """Estimate kernel execution times on the modelled GPU.

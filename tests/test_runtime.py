@@ -1,0 +1,467 @@
+"""Tests for the runtime serving subsystem (cache, batch, server, stats)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import FlashFuser, FusionError, KernelTable
+from repro.codegen.plan import ExecutionPlan
+from repro.ir.builders import build_standard_ffn
+from repro.runtime import (
+    BatchCompiler,
+    KernelServer,
+    PlanCache,
+    PlanCacheEntry,
+    ServingStats,
+    plan_cache_key,
+    warmup_workloads,
+)
+from repro.search.engine import SearchEngine, SearchSummary
+from repro.search.space import SearchSpace
+from repro.sim.engine import SimulationReport
+
+
+@pytest.fixture
+def search_calls(monkeypatch):
+    """Count live fusion-search invocations (cache hits must not add any)."""
+    calls = {"count": 0}
+    original = SearchEngine.search
+
+    def counted(self, chain):
+        calls["count"] += 1
+        return original(self, chain)
+
+    monkeypatch.setattr(SearchEngine, "search", counted)
+    return calls
+
+
+def _chain(name="rt-small", m=128, n=512, k=256, l=256):
+    _, spec = build_standard_ffn(name, m=m, n=n, k=k, l=l)
+    return spec
+
+
+def _compiler(h100, cache):
+    return FlashFuser(device=h100, top_k=3, max_tile=128, cache=cache)
+
+
+# --------------------------------------------------------------------- #
+# Canonical identity and serialization
+# --------------------------------------------------------------------- #
+class TestCanonicalIdentity:
+    def test_hash_ignores_name(self):
+        assert _chain("a").canonical_hash() == _chain("b").canonical_hash()
+        assert _chain("a").same_shape(_chain("b"))
+
+    def test_hash_differs_by_shape(self):
+        assert _chain().canonical_hash() != _chain(m=256).canonical_hash()
+
+    def test_chain_dict_round_trip(self):
+        chain = _chain()
+        assert type(chain).from_dict(chain.to_dict()) == chain
+
+    def test_cache_key_depends_on_config_and_device(self, h100, a100):
+        chain = _chain()
+        base = plan_cache_key(chain, h100, {"top_k": 3})
+        assert base == plan_cache_key(chain, h100, {"top_k": 3})
+        assert base != plan_cache_key(chain, h100, {"top_k": 5})
+        assert base != plan_cache_key(chain, a100, {"top_k": 3})
+
+
+class TestPlanSerialization:
+    def test_execution_plan_round_trip(self, compiled_small):
+        plan = compiled_small.plan
+        payload = json.loads(json.dumps(plan.to_dict()))
+        restored = ExecutionPlan.from_dict(payload)
+        assert restored.summary() == plan.summary()
+        assert restored.kernel_name == plan.kernel_name
+        assert restored.comm_plan.dsm_bytes() == plan.comm_plan.dsm_bytes()
+
+    def test_plan_chain_substitution_requires_same_shape(self, compiled_small):
+        payload = compiled_small.plan.to_dict()
+        renamed = compiled_small.plan.chain.scaled(name="other-name")
+        assert ExecutionPlan.from_dict(payload, chain=renamed).chain.name == "other-name"
+        with pytest.raises(ValueError):
+            ExecutionPlan.from_dict(payload, chain=_chain(m=256))
+
+    def test_simulation_report_round_trip(self, compiled_small):
+        report = compiled_small.report
+        restored = SimulationReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        )
+        assert restored.time_us == report.time_us
+        assert restored.tflops == pytest.approx(report.tflops)
+        assert restored.per_level_us == report.per_level_us
+
+    def test_search_summary_round_trip(self, compiled_small):
+        summary = compiled_small.search.summary()
+        restored = SearchSummary.from_dict(summary.to_dict(), from_cache=True)
+        assert restored.succeeded
+        assert restored.from_cache
+        assert restored.candidates_analyzed == summary.candidates_analyzed
+
+
+# --------------------------------------------------------------------- #
+# Plan cache
+# --------------------------------------------------------------------- #
+class TestPlanCache:
+    def test_second_compile_skips_search(self, h100, search_calls):
+        compiler = _compiler(h100, PlanCache())
+        chain = _chain()
+        first = compiler.compile(chain)
+        assert search_calls["count"] == 1
+        second = compiler.compile(chain)
+        assert search_calls["count"] == 1
+        assert second is first  # memoized rehydrated kernel
+        assert second.plan.summary() == first.plan.summary()
+
+    def test_disk_round_trip_identical_summary(self, h100, tmp_path, search_calls):
+        chain = _chain()
+        first = _compiler(h100, PlanCache(directory=tmp_path)).compile(chain)
+        assert search_calls["count"] == 1
+
+        # A fresh process-level cache must load the plan without searching.
+        reloaded = _compiler(h100, PlanCache(directory=tmp_path)).compile(chain)
+        assert search_calls["count"] == 1
+        assert reloaded.from_cache
+        assert reloaded.plan.summary() == first.plan.summary()
+        assert reloaded.source == first.source
+        assert reloaded.report.to_dict() == first.report.to_dict()
+        assert reloaded.traffic.total_bytes == first.traffic.total_bytes
+
+    def test_equally_shaped_chain_shares_entry(self, h100, search_calls):
+        compiler = _compiler(h100, PlanCache())
+        compiler.compile(_chain("name-one"))
+        other = compiler.compile(_chain("name-two"))
+        assert search_calls["count"] == 1
+        assert other.plan.chain.name == "name-two"
+        assert other.plan.summary()["workload"] == "name-two"
+
+    def test_different_search_config_misses(self, h100, search_calls):
+        cache = PlanCache()
+        chain = _chain()
+        _compiler(h100, cache).compile(chain)
+        FlashFuser(device=h100, top_k=5, max_tile=128, cache=cache).compile(chain)
+        assert search_calls["count"] == 2
+
+    def test_lru_eviction_falls_back_to_disk(self, h100, tmp_path, search_calls):
+        cache = PlanCache(directory=tmp_path, max_memory_entries=1)
+        compiler = _compiler(h100, cache)
+        chain_a, chain_b = _chain("a"), _chain("b", n=1024)
+        compiler.compile(chain_a)
+        compiler.compile(chain_b)  # evicts chain_a from the memory tier
+        assert cache.stats.evictions >= 1
+        assert len(cache) == 1
+        compiler.compile(chain_a)  # served by the disk tier, not a search
+        assert search_calls["count"] == 2
+        assert cache.stats.disk_hits >= 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, h100, tmp_path, search_calls):
+        cache = PlanCache(directory=tmp_path)
+        compiler = _compiler(h100, cache)
+        chain = _chain()
+        compiler.compile(chain)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json", encoding="utf-8")
+        fresh = _compiler(h100, PlanCache(directory=tmp_path))
+        fresh.compile(chain)
+        assert search_calls["count"] == 2
+
+    def test_entry_json_round_trip(self, compiled_small):
+        entry = PlanCacheEntry.from_kernel("some-key", compiled_small)
+        restored = PlanCacheEntry.from_json(entry.to_json())
+        assert restored is not None
+        kernel = restored.rehydrate()
+        assert kernel.plan.summary() == compiled_small.plan.summary()
+        assert kernel.from_cache
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_memory_entries=0)
+
+    def test_directory_must_not_be_a_file(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("not a directory")
+        with pytest.raises(ValueError):
+            PlanCache(directory=target)
+
+
+# --------------------------------------------------------------------- #
+# KernelTable lookup edge cases
+# --------------------------------------------------------------------- #
+class TestKernelTableLookup:
+    @pytest.fixture
+    def table(self, small_chain):
+        # Lookup semantics do not depend on kernel contents; sentinels keep
+        # this table cheap to build.
+        return KernelTable(
+            chain=small_chain, kernels={64: "k64", 128: "k128", 256: "k256"}
+        )
+
+    def test_m_between_bins_rounds_up(self, table):
+        assert table.bin_for(65) == 128
+        assert table.lookup(65) == "k128"
+
+    def test_m_on_bin_boundary(self, table):
+        assert table.lookup(64) == "k64"
+        assert table.lookup(256) == "k256"
+
+    def test_m_above_largest_bin_reuses_largest(self, table):
+        assert table.bin_for(100_000) == 256
+        assert table.lookup(100_000) == "k256"
+
+    def test_empty_table_raises_key_error(self, small_chain):
+        with pytest.raises(KeyError):
+            KernelTable(chain=small_chain).lookup(64)
+
+    def test_non_positive_m_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.lookup(0)
+        with pytest.raises(ValueError):
+            table.lookup(-3)
+
+
+# --------------------------------------------------------------------- #
+# Batch compiler
+# --------------------------------------------------------------------- #
+class TestBatchCompiler:
+    def test_duplicate_bins_searched_once(self, h100, search_calls):
+        batch = BatchCompiler(_compiler(h100, PlanCache()), max_workers=2)
+        table = batch.compile_table(_chain(), m_bins=(64, 64, 128, 128))
+        assert table.bins() == [64, 128]
+        assert search_calls["count"] == 2
+        assert table.lookup(100).plan.chain.m == 128
+
+    def test_duplicate_chains_fan_out_with_own_names(self, h100, search_calls):
+        batch = BatchCompiler(_compiler(h100, PlanCache()), max_workers=2)
+        report = batch.compile_chains([_chain("dup-a"), _chain("dup-b")])
+        assert search_calls["count"] == 1
+        assert report.deduplicated == 1
+        assert [item.status for item in report.items] == ["compiled", "cached"]
+        assert report.items[1].kernel.plan.chain.name == "dup-b"
+
+    def test_failures_do_not_abort_batch(self, h100, large_chain):
+        compiler = FlashFuser(device=h100, include_dsm=False, top_k=3, max_tile=128)
+        batch = BatchCompiler(compiler, max_workers=2)
+        report = batch.compile_chains([large_chain, _chain()])
+        assert report.failed == 1
+        assert report.compiled == 1
+        failed = report.items[0]
+        assert failed.kernel is None and failed.error
+        assert report.items[1].ok
+
+    def test_compile_workloads_reports_per_id(self, h100, search_calls):
+        batch = BatchCompiler(_compiler(h100, PlanCache()), max_workers=2)
+        results = batch.compile_workloads(["G1", "G1"])
+        assert search_calls["count"] == 1
+        assert results["G1"].ok
+
+
+# --------------------------------------------------------------------- #
+# Kernel server
+# --------------------------------------------------------------------- #
+class TestKernelServer:
+    def test_repeat_request_never_searches_again(self, h100, search_calls):
+        server = KernelServer(
+            compiler=_compiler(h100, PlanCache()), m_bins=(64, 128)
+        )
+        first = server.request("G1", 100)
+        assert first.source == "compiled"
+        assert first.bin_m == 128
+        assert search_calls["count"] == 1
+
+        second = server.request("G1", 100)
+        assert second.source == "table"
+        assert second.kernel is first.kernel
+        assert search_calls["count"] == 1
+
+        # A different M mapping to the same bin shares the kernel too.
+        third = server.request("G1", 70)
+        assert third.bin_m == 128
+        assert third.kernel is first.kernel
+        assert search_calls["count"] == 1
+
+    def test_restart_serves_from_disk_cache(self, h100, tmp_path, search_calls):
+        server = KernelServer(
+            compiler=_compiler(h100, PlanCache(directory=tmp_path)),
+            m_bins=(64, 128),
+        )
+        server.request("G1", 128)
+        assert search_calls["count"] == 1
+
+        restarted = KernelServer(
+            compiler=_compiler(h100, PlanCache(directory=tmp_path)),
+            m_bins=(64, 128),
+        )
+        response = restarted.request("G1", 128)
+        assert response.source == "cache:disk"
+        assert search_calls["count"] == 1
+        assert restarted.request("G1", 128).source == "table"
+
+    def test_stats_track_hits_and_latency(self, h100, search_calls):
+        server = KernelServer(
+            compiler=_compiler(h100, PlanCache()), m_bins=(64, 128)
+        )
+        server.request("G1", 128)
+        server.request("G1", 128)
+        snapshot = server.snapshot()
+        serving = snapshot["serving"]
+        assert serving["requests"] == 2
+        assert serving["misses"] == 1
+        assert serving["hit_rate"] == pytest.approx(0.5)
+        assert serving["by_source"]["table"] == 1
+        assert serving["overall_latency_us"]["count"] == 2
+        assert snapshot["tables"]["G1"] == [128]
+
+    def test_corrupt_cache_entry_recorded_as_compile(
+        self, h100, tmp_path, search_calls
+    ):
+        KernelServer(
+            compiler=_compiler(h100, PlanCache(directory=tmp_path)),
+            m_bins=(64, 128),
+        ).request("G1", 128)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("garbage{{{", encoding="utf-8")
+        restarted = KernelServer(
+            compiler=_compiler(h100, PlanCache(directory=tmp_path)),
+            m_bins=(64, 128),
+        )
+        response = restarted.request("G1", 128)
+        # The disk file exists but is unreadable: a search actually ran, and
+        # the metrics must say so rather than reporting a phantom disk hit.
+        assert response.source == "compiled"
+        assert search_calls["count"] == 2
+
+    def test_cache_accepts_directory_path(self, h100, tmp_path):
+        server = KernelServer(
+            compiler=FlashFuser(device=h100, top_k=3, max_tile=128),
+            cache=tmp_path / "plans",
+        )
+        assert isinstance(server.cache, PlanCache)
+        server.request("G1", 64)
+        assert server.cache.disk_keys()
+
+    def test_concurrent_first_requests_search_once(self, h100, search_calls):
+        import threading
+
+        server = KernelServer(
+            compiler=_compiler(h100, PlanCache()), m_bins=(64, 128)
+        )
+        errors = []
+
+        def hit():
+            try:
+                server.request("G1", 128)
+            except Exception as exc:  # pragma: no cover - diagnostic only
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hit) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert search_calls["count"] == 1
+        assert server.stats.requests == 4
+        assert server.stats.misses == 1
+
+    def test_invalid_m_rejected(self, h100):
+        server = KernelServer(compiler=_compiler(h100, PlanCache()))
+        with pytest.raises(ValueError):
+            server.request("G1", 0)
+
+    def test_invalid_bins_rejected(self, h100):
+        with pytest.raises(ValueError):
+            KernelServer(compiler=_compiler(h100, None), m_bins=())
+        with pytest.raises(ValueError):
+            KernelServer(compiler=_compiler(h100, None), m_bins=(0, 64))
+
+    def test_warmup_precompiles_requests(self, h100, search_calls):
+        server = KernelServer(
+            compiler=_compiler(h100, PlanCache()), m_bins=(64, 128)
+        )
+        report = server.warmup(["G1"], m_bins=(64, 128))
+        assert report.jobs == 2
+        assert report.succeeded == 2
+        searches_after_warmup = search_calls["count"]
+
+        response = server.request("G1", 90)
+        assert response.source == "table"
+        assert search_calls["count"] == searches_after_warmup
+
+
+# --------------------------------------------------------------------- #
+# Warmup API
+# --------------------------------------------------------------------- #
+class TestWarmup:
+    def test_warmup_builds_tables_and_dedups(self, h100, search_calls):
+        compiler = _compiler(h100, PlanCache())
+        report = warmup_workloads(compiler, ["G1"], m_bins=(64, 128))
+        assert report.jobs == 2
+        assert report.compiled == 2
+        assert report.tables["G1"].bins() == [64, 128]
+
+        again = warmup_workloads(compiler, ["G1"], m_bins=(64, 128))
+        assert again.cached == 2
+        assert search_calls["count"] == 2
+
+    def test_warmup_rejects_bad_bins(self, h100):
+        compiler = _compiler(h100, None)
+        with pytest.raises(ValueError):
+            warmup_workloads(compiler, ["G1"], m_bins=())
+        with pytest.raises(ValueError):
+            warmup_workloads(compiler, ["G1"], m_bins=(-1,))
+
+
+# --------------------------------------------------------------------- #
+# Serving stats
+# --------------------------------------------------------------------- #
+class TestServingStats:
+    def test_counters_and_hit_rate(self):
+        stats = ServingStats()
+        stats.record_request("G1", "table", 10.0)
+        stats.record_request("G1", "compiled", 1000.0)
+        stats.record_request("G2", "cache:disk", 50.0)
+        assert stats.requests == 3
+        assert stats.misses == 1
+        assert stats.hit_rate() == pytest.approx(2 / 3)
+        snapshot = stats.snapshot()
+        assert snapshot["by_workload"] == {"G1": 2, "G2": 1}
+        assert snapshot["latency_us"]["table"]["mean_us"] == pytest.approx(10.0)
+        assert snapshot["overall_latency_us"]["max_us"] == pytest.approx(1000.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            ServingStats().record_request("G1", "table", -1.0)
+
+    def test_reset(self):
+        stats = ServingStats()
+        stats.record_request("G1", "table", 1.0)
+        stats.reset()
+        assert stats.requests == 0
+        assert stats.snapshot()["by_source"] == {}
+
+
+# --------------------------------------------------------------------- #
+# Satellites: exports and the max_candidates fix
+# --------------------------------------------------------------------- #
+class TestPackageExports:
+    def test_fusion_error_and_kernel_table_exported(self):
+        import repro
+
+        assert repro.FusionError is FusionError
+        assert repro.KernelTable is KernelTable
+        assert issubclass(repro.FusionError, RuntimeError)
+
+
+class TestMaxCandidatesEarlyStop:
+    def test_enumeration_stops_at_budget(self, h100):
+        chain = _chain()
+        space = SearchSpace(h100, max_tile=128)
+        engine = SearchEngine(h100, top_k=3, max_candidates=5, space=space)
+        result = engine.search(chain)
+        assert result.candidates_analyzed == 5
+        # Before the fix the engine drained the whole pruned stream; now it
+        # must stop enumerating well short of the full space.
+        assert result.candidates_enumerated < space.size_estimate(chain) // 2
