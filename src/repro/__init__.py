@@ -27,6 +27,7 @@ from repro.api import (
 )
 from repro.hardware import HardwareSpec, a100_spec, h100_spec
 from repro.ir import GemmChainSpec, get_workload, list_workloads
+from repro.search import ParallelSearchEngine, SearchEngine
 from repro.runtime import (
     BatchCompiler,
     KernelServer,
@@ -47,6 +48,8 @@ __all__ = [
     "GemmChainSpec",
     "get_workload",
     "list_workloads",
+    "ParallelSearchEngine",
+    "SearchEngine",
     "BatchCompiler",
     "KernelServer",
     "PlanCache",

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import bisect
 import os
+import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.codegen.cuda_emitter import emit_cuda
 from repro.codegen.kernel_ir import KernelIR, lower_plan
@@ -98,6 +99,14 @@ class FlashFuser:
         plans back into it, so repeated compilations of canonically identical
         chains — within this process or across process restarts — skip the
         fusion search entirely.
+    parallelism:
+        Cold-compile fan-out.  ``None`` or ``1`` runs the serial
+        :class:`~repro.search.engine.SearchEngine`; a larger value shards
+        the candidate space across that many worker processes via
+        :class:`~repro.search.parallel.ParallelSearchEngine`.  The selected
+        plan is identical either way (and so are plan-cache keys — the knob
+        never invalidates cached plans).  Call :meth:`close` (or use the
+        compiler as a context manager) to release worker pools.
     """
 
     def __init__(
@@ -107,6 +116,7 @@ class FlashFuser:
         include_dsm: bool = True,
         max_tile: int = 256,
         cache: Optional[Union["PlanCache", str, os.PathLike]] = None,
+        parallelism: Optional[int] = None,
     ) -> None:
         self.device = device or h100_spec()
         self.simulator = PerformanceSimulator(self.device)
@@ -115,11 +125,18 @@ class FlashFuser:
         self.top_k = top_k
         self.include_dsm = include_dsm
         self.max_tile = max_tile
+        self.parallelism = parallelism
         if isinstance(cache, (str, os.PathLike)):
             from repro.runtime.cache import PlanCache
 
             cache = PlanCache(directory=cache)
         self.cache = cache
+        #: Engines memoized by effective parallelism so repeated compiles
+        #: reuse one worker pool instead of re-forking per chain.  compile()
+        #: is called concurrently from BatchCompiler's thread pool, so the
+        #: lazy construction is lock-guarded.
+        self._engines: Dict[int, object] = {}
+        self._engines_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Compilation
@@ -138,27 +155,33 @@ class FlashFuser:
             return None
         return self.cache.key_for(chain, self.device, self.search_config())
 
-    def compile(self, chain: GemmChainSpec) -> CompiledKernel:
+    def compile(
+        self, chain: GemmChainSpec, parallelism: Optional[int] = None
+    ) -> CompiledKernel:
         """Return the best fused kernel for ``chain``, consulting the cache.
 
         With no cache attached this always runs the full fusion search
         (:meth:`compile_uncached`); with one attached, a canonically
         identical chain compiled before — by this process or a previous one —
-        is rehydrated from the stored plan instead.
+        is rehydrated from the stored plan instead.  ``parallelism``
+        overrides the compiler default for this cold compile only; it never
+        changes the selected plan or the cache key.
         """
         if self.cache is None:
-            return self.compile_uncached(chain)
+            return self.compile_uncached(chain, parallelism=parallelism)
         key = self.cache.key_for(chain, self.device, self.search_config())
         cached = self.cache.load_kernel(key, chain=chain)
         if cached is not None:
             return cached
-        kernel = self.compile_uncached(chain)
+        kernel = self.compile_uncached(chain, parallelism=parallelism)
         self.cache.store_kernel(key, kernel)
         return kernel
 
-    def compile_uncached(self, chain: GemmChainSpec) -> CompiledKernel:
+    def compile_uncached(
+        self, chain: GemmChainSpec, parallelism: Optional[int] = None
+    ) -> CompiledKernel:
         """Search, select and lower the best fused kernel for ``chain``."""
-        engine = self._make_engine()
+        engine = self._engine_for(parallelism)
         search = engine.search(chain)
         if not search.succeeded:
             raise FusionError(
@@ -207,10 +230,37 @@ class FlashFuser:
             kernels[m] = self.compile(chain.scaled(m=m, name=f"{chain.name}_m{m}"))
         return KernelTable(chain=chain, kernels=kernels)
 
+    def close(self) -> None:
+        """Release worker pools held by parallel search engines (idempotent)."""
+        with self._engines_lock:
+            engines, self._engines = dict(self._engines), {}
+        for engine in engines.values():
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "FlashFuser":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _make_engine(self) -> SearchEngine:
+    def _engine_for(self, parallelism: Optional[int] = None):
+        """The (memoized) search engine for an effective parallelism."""
+        effective = parallelism if parallelism is not None else self.parallelism
+        effective = max(1, effective or 1)
+        with self._engines_lock:
+            engine = self._engines.get(effective)
+            if engine is None:
+                engine = self._make_engine(effective)
+                self._engines[effective] = engine
+            return engine
+
+    def _make_engine(self, parallelism: int = 1):
+        from repro.search.parallel import ParallelSearchEngine
         from repro.search.space import SearchSpace
 
         space = SearchSpace(
@@ -218,6 +268,16 @@ class FlashFuser:
             max_tile=self.max_tile,
             include_clusters=self.include_dsm,
         )
+        if parallelism > 1:
+            return ParallelSearchEngine(
+                self.device,
+                top_k=self.top_k,
+                include_dsm=self.include_dsm,
+                profiler=self.simulator.profile,
+                space=space,
+                cost_model=self.cost_model,
+                parallelism=parallelism,
+            )
         return SearchEngine(
             self.device,
             top_k=self.top_k,

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.hardware.spec import HardwareSpec, h100_spec
 from repro.ir.graph import ChainKind, GemmChainSpec
-from repro.sim.engine import KernelLaunch, PerformanceSimulator, SimulationReport
+from repro.sim.engine import KernelLaunch, PerformanceSimulator
 
 
 @dataclass

@@ -11,7 +11,6 @@ for the larger workloads.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.baselines.base import Baseline, BaselineResult, epilogue_fused_launches
 from repro.dataflow.analyzer import DataflowAnalyzer

@@ -10,7 +10,6 @@ OPT-1.3B- and GPT-6.7B-sized FFNs.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.baselines.base import Baseline, BaselineResult, unfused_launches
 from repro.ir.graph import GemmChainSpec

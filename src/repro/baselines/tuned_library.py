@@ -12,9 +12,8 @@ from __future__ import annotations
 from typing import List
 
 from repro.baselines.base import Baseline, epilogue_fused_launches
-from repro.hardware.spec import HardwareSpec
 from repro.ir.graph import GemmChainSpec
-from repro.sim.engine import KernelLaunch, PerformanceSimulator
+from repro.sim.engine import KernelLaunch
 
 
 class TensorRTBaseline(Baseline):

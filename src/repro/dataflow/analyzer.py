@@ -15,7 +15,7 @@ volumes into the minimax cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.dataflow.footprint import (
@@ -35,7 +35,7 @@ from repro.dsm_comm.geometry import ClusterGeometry
 from repro.dsm_comm.primitives import CommPlan
 from repro.hardware.memory import MemoryLevelName
 from repro.hardware.spec import HardwareSpec
-from repro.ir.graph import ChainKind, GemmChainSpec
+from repro.ir.graph import GemmChainSpec
 
 
 @dataclass

@@ -21,12 +21,12 @@ how many times it is re-accessed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Tuple
 
 from repro.dataflow.loop_schedule import LoopSchedule
 from repro.dataflow.tiling import TileConfig
 from repro.dsm_comm.geometry import ClusterGeometry
-from repro.ir.graph import ChainKind, GemmChainSpec
+from repro.ir.graph import GemmChainSpec
 
 #: Loop dimensions each logical tensor is indexed by.
 TENSOR_DIMS: Dict[str, Tuple[str, ...]] = {

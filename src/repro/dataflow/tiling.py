@@ -14,7 +14,7 @@ additionally requires them to divide the problem extents evenly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterator, List
 
 from repro.dsm_comm.geometry import ClusterGeometry
 from repro.hardware.cluster import ClusterLimits

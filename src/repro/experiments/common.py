@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.api import CompiledKernel, FlashFuser
 from repro.hardware.spec import HardwareSpec, h100_spec

@@ -8,9 +8,9 @@ together with the FlashFuser-vs-baseline speedups the abstract quotes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.registry import BASELINE_NAMES, make_baseline
+from repro.baselines.registry import make_baseline
 from repro.experiments.common import (
     CONV_SUITE,
     GATED_SUITE,

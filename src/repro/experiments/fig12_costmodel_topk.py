@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.common import CompilerCache, chain_for, format_table
+from repro.experiments.common import chain_for, format_table
 from repro.hardware.spec import HardwareSpec, h100_spec
 from repro.search.cost_model import CostModel
 from repro.search.engine import SearchEngine

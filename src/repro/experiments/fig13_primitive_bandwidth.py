@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.dsm_comm.primitives import PrimitiveKind
 from repro.experiments.common import format_table
 from repro.hardware.spec import HardwareSpec, h100_spec
 

@@ -15,7 +15,7 @@ search-space construction of Section IV-C.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 

@@ -12,7 +12,7 @@ end-to-end experiments (Figures 16-17).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Union
 
 from repro.ir.builders import build_conv_chain, build_gated_ffn, build_standard_ffn
 from repro.ir.graph import ChainKind, GemmChainSpec, OperatorGraph

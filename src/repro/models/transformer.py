@@ -10,11 +10,10 @@ simulator, which yields the per-component time breakdown behind Table I
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.hardware.spec import HardwareSpec, h100_spec
-from repro.ir.graph import ChainKind
 from repro.ir.workloads import ModelConfig
 from repro.sim.engine import KernelLaunch, PerformanceSimulator
 

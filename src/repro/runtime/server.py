@@ -29,7 +29,7 @@ from repro.api import CompiledKernel, FlashFuser, KernelTable
 from repro.ir.graph import GemmChainSpec
 from repro.ir.workloads import get_chain_spec
 from repro.runtime.batch import BatchCompiler
-from repro.runtime.cache import TIER_DISK, TIER_MEMORY, PlanCache
+from repro.runtime.cache import TIER_MEMORY, PlanCache
 from repro.runtime.stats import ServingStats
 from repro.runtime.warmup import WarmupReport, warmup_workloads
 
@@ -75,6 +75,10 @@ class KernelServer:
         Metrics sink (a fresh :class:`ServingStats` when omitted).
     max_workers:
         Worker-pool width used by :meth:`warmup`.
+    parallelism:
+        When set (> 1), cold searches — warmup sweeps and on-demand compile
+        misses alike — run on the sharded process-parallel search engine.
+        Serving results are identical; only cold latency changes.
     """
 
     def __init__(
@@ -84,6 +88,7 @@ class KernelServer:
         m_bins: Optional[Sequence[int]] = None,
         stats: Optional[ServingStats] = None,
         max_workers: Optional[int] = None,
+        parallelism: Optional[int] = None,
     ) -> None:
         if cache is not None and not isinstance(cache, PlanCache):
             cache = PlanCache(directory=cache)
@@ -100,7 +105,10 @@ class KernelServer:
             raise ValueError("m_bins must be positive")
         self.m_bins = bins
         self.stats = stats or ServingStats()
-        self.batch = BatchCompiler(compiler, max_workers=max_workers)
+        self.parallelism = parallelism
+        self.batch = BatchCompiler(
+            compiler, max_workers=max_workers, parallelism=parallelism
+        )
         self._tables: Dict[str, KernelTable] = {}
         self._chains: Dict[str, GemmChainSpec] = {}
         self._lock = threading.RLock()
@@ -180,6 +188,21 @@ class KernelServer:
                 existing.kernels.update(table.kernels)
         return report
 
+    def close(self) -> None:
+        """Release compiler-held worker pools (idempotent).
+
+        Long-lived deployments using ``parallelism`` should close the server
+        (or use it as a context manager) when retiring it, so the process
+        pool behind cold compiles does not outlive the serving loop.
+        """
+        self.compiler.close()
+
+    def __enter__(self) -> "KernelServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def table_for(self, workload_id: str) -> Optional[KernelTable]:
         """The kernel table currently held for ``workload_id`` (or ``None``)."""
         with self._lock:
@@ -224,4 +247,5 @@ class KernelServer:
                     SOURCE_CACHE_MEMORY if tier == TIER_MEMORY else SOURCE_CACHE_DISK
                 )
                 return kernel, source
-        return self.compiler.compile(chain), SOURCE_COMPILED
+        kernel = self.compiler.compile(chain, parallelism=self.parallelism)
+        return kernel, SOURCE_COMPILED

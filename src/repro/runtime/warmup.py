@@ -72,6 +72,7 @@ def warmup_workloads(
     workload_ids: Optional[Sequence[str]] = None,
     m_bins: Sequence[int] = DEFAULT_WARMUP_M_BINS,
     max_workers: Optional[int] = None,
+    parallelism: Optional[int] = None,
 ) -> WarmupReport:
     """Precompile every (workload, M-bin) pair through the batch compiler.
 
@@ -86,12 +87,18 @@ def warmup_workloads(
         M bins compiled per workload.
     max_workers:
         Pool width when a :class:`FlashFuser` was passed.
+    parallelism:
+        When set (> 1), cold searches in the sweep run on the sharded
+        process-parallel engine — the fastest way to warm an empty cache,
+        since a cold suite is exactly a pile of independent cold compiles.
+        Ignored when an existing :class:`BatchCompiler` is passed (configure
+        it directly instead).
     """
     start = time.perf_counter()
     batch = (
         compiler
         if isinstance(compiler, BatchCompiler)
-        else BatchCompiler(compiler, max_workers=max_workers)
+        else BatchCompiler(compiler, max_workers=max_workers, parallelism=parallelism)
     )
     ids = list(workload_ids) if workload_ids is not None else default_warmup_workloads()
     bins = sorted(set(m_bins))

@@ -6,25 +6,31 @@ survivors with the minimax bandwidth cost model
 (:mod:`repro.search.cost_model`) and profiles the top-K candidates on the
 performance simulator to pick the final plan
 (:mod:`repro.search.engine`, Algorithm 2).  The unpruned exhaustive search
-used for the Table VIII comparison lives in :mod:`repro.search.brute_force`.
+used for the Table VIII comparison lives in :mod:`repro.search.brute_force`,
+and the sharded process-parallel engine — same selected plan, cold compiles
+fanned across workers — in :mod:`repro.search.parallel`.
 """
 
 from repro.search.cost_model import CostBreakdown, CostModel
 from repro.search.engine import FusionCandidate, SearchEngine, SearchResult
+from repro.search.parallel import AdaptiveShardSizer, ParallelSearchEngine
 from repro.search.pruning import PruningRule, PruningStats, Pruner
-from repro.search.space import SearchSpace, initial_space_size
+from repro.search.space import SearchSpace, SpaceComponents, initial_space_size
 from repro.search.brute_force import BruteForceSearch
 
 __all__ = [
+    "AdaptiveShardSizer",
     "CostBreakdown",
     "CostModel",
     "FusionCandidate",
+    "ParallelSearchEngine",
     "SearchEngine",
     "SearchResult",
     "PruningRule",
     "PruningStats",
     "Pruner",
     "SearchSpace",
+    "SpaceComponents",
     "initial_space_size",
     "BruteForceSearch",
 ]

@@ -13,14 +13,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Optional
 
-from repro.dataflow.analyzer import DataflowAnalyzer, DataflowResult
+from repro.dataflow.analyzer import DataflowAnalyzer
 from repro.hardware.spec import HardwareSpec
 from repro.ir.graph import GemmChainSpec
 from repro.search.engine import ProfilerFn, RankedPlan
-from repro.search.pruning import Pruner, PruningRule
-from repro.search.space import FusionCandidate, SearchSpace
+from repro.search.pruning import Pruner
+from repro.search.space import SearchSpace
 
 
 @dataclass

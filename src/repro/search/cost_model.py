@@ -17,8 +17,10 @@ configurations are not ranked purely by their (tiny) memory cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.dataflow.analyzer import DataflowResult
 from repro.hardware.memory import MemoryLevelName
@@ -68,6 +70,10 @@ class CostModel:
             raise ValueError("compute_efficiency must be in (0, 1]")
         self.device = device
         self.compute_efficiency = compute_efficiency
+        # Per-cluster-size bandwidth tables for the batched scorer; a pure
+        # function of the hardware, cached because every batch rebuilds the
+        # same few cluster sizes.
+        self._bandwidth_cache: Dict[int, Dict[str, Tuple[float, bool]]] = {}
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -101,6 +107,60 @@ class CostModel:
         """The minimax objective (Eq. 2) in microseconds — lower is better."""
         return self.breakdown(result).bottleneck_us
 
+    def evaluate_batch(self, results: Sequence[DataflowResult]) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over many analysed candidates.
+
+        One numpy pass scores the whole batch: per-level costs become an
+        ``(N, levels)`` matrix, the compute stage one more column, and the
+        minimax objective a row-wise maximum.  Every arithmetic operation
+        mirrors the scalar path in the same order on the same float64
+        values, so the returned costs are bit-identical to calling
+        :meth:`evaluate` per result — the property the parallel search
+        engine relies on to reproduce the serial ranking exactly.
+        """
+        count = len(results)
+        if count == 0:
+            return np.zeros(0, dtype=np.float64)
+
+        # Column layout: the union of level names charged by the batch.
+        names: List[str] = []
+        for result in results:
+            for name in result.volumes:
+                if name not in names:
+                    names.append(name)
+        columns = {name: j for j, name in enumerate(names)}
+
+        volumes = np.zeros((count, max(1, len(names))), dtype=np.float64)
+        # Cells with zero volume divide by 1.0 and contribute a zero cost,
+        # matching the scalar path's skip of non-positive volumes.
+        bandwidths = np.ones_like(volumes)
+        occupied = np.empty(count, dtype=np.float64)
+        flops = np.empty(count, dtype=np.float64)
+
+        for i, result in enumerate(results):
+            sms = self._occupied_sms(result)
+            occupied[i] = sms
+            flops[i] = result.chain.total_flops()
+            table = self._level_bandwidths(result.geometry.blocks_per_cluster)
+            for name, volume in result.volumes.items():
+                if volume <= 0:
+                    continue
+                base, scaled = table[name]
+                j = columns[name]
+                volumes[i, j] = volume
+                bandwidths[i, j] = base * sms if scaled else base
+
+        level_costs = volumes / (bandwidths * 1e3)
+
+        occupancy = occupied / self.device.num_sms
+        efficiency = self.compute_efficiency * np.maximum(
+            0.25, np.minimum(1.0, occupancy)
+        )
+        effective_tflops = self.device.peak_fp16_tflops * efficiency
+        compute_us = flops / (effective_tflops * 1e6)
+
+        return np.maximum(level_costs.max(axis=1), compute_us)
+
     def predicted_time_us(self, result: DataflowResult) -> float:
         """Predicted kernel time: the bottleneck stage plus launch overhead."""
         return self.breakdown(result).bottleneck_us + self._launch_overhead_us()
@@ -124,6 +184,27 @@ class CostModel:
         efficiency = self.compute_efficiency * max(0.25, min(1.0, occupancy))
         effective_tflops = self.device.peak_fp16_tflops * efficiency
         return flops / (effective_tflops * 1e6)
+
+    def _level_bandwidths(self, cluster_size: int) -> Dict[str, Tuple[float, bool]]:
+        """Per-level ``(bandwidth_gbps, scales_with_sms)`` for one cluster size.
+
+        Mirrors the level resolution of :meth:`breakdown`: names absent from
+        the cluster's hierarchy (DSM on single-block clusters) are billed at
+        global bandwidth, and per-SM levels aggregate across occupied SMs.
+        """
+        table = self._bandwidth_cache.get(cluster_size)
+        if table is None:
+            hierarchy = self.device.memory_hierarchy_for_cluster(cluster_size)
+            table = {}
+            for name in MemoryLevelName.ORDER:
+                if hierarchy.has(name):
+                    level = hierarchy.get(name)
+                else:
+                    level = hierarchy.get(MemoryLevelName.GLOBAL)
+                scaled = name in (MemoryLevelName.REGISTER, MemoryLevelName.SMEM)
+                table[name] = (level.bandwidth_gbps, scaled)
+            self._bandwidth_cache[cluster_size] = table
+        return table
 
     def _occupied_sms(self, result: DataflowResult) -> int:
         """How many SMs the candidate's launch keeps busy."""

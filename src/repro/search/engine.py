@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import heapq
 import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.dataflow.analyzer import DataflowAnalyzer, DataflowResult
 from repro.hardware.spec import HardwareSpec
@@ -193,7 +193,12 @@ class SearchEngine:
 
         enumerated = 0
         analyzed = 0
-        # Max-heap by negative cost so the worst of the current top-K is on top.
+        # Max-heap by (cost, analysis order): entries are (-cost, -counter),
+        # so the root is the worst of the current top-K and, among tied
+        # costs, the *latest* analysed — evicting it first keeps the top-K
+        # membership exactly "the K lexicographically smallest (cost, order)
+        # pairs", a fully deterministic rule the sharded parallel engine's
+        # merge reproduces independently of shard boundaries.
         heap: List[Tuple[float, int, RankedPlan]] = []
         counter = 0
 
@@ -218,18 +223,25 @@ class SearchEngine:
             plan = RankedPlan(candidate=candidate, result=result, predicted_cost_us=cost)
             counter += 1
             if len(heap) < self.top_k:
-                heapq.heappush(heap, (-cost, counter, plan))
+                heapq.heappush(heap, (-cost, -counter, plan))
             elif -heap[0][0] > cost:
-                heapq.heapreplace(heap, (-cost, counter, plan))
+                heapq.heapreplace(heap, (-cost, -counter, plan))
 
-        top_k = sorted((entry[2] for entry in heap), key=lambda p: p.predicted_cost_us)
+        # Rank by cost with analysis order as the tie-break, so the top-K
+        # ordering is fully deterministic (and reproducible by the sharded
+        # parallel engine, whose merge uses the same enumeration-order key).
+        ranked = sorted(
+            ((entry[2], -entry[1]) for entry in heap),
+            key=lambda pair: (pair[0].predicted_cost_us, pair[1]),
+        )
 
         # Final profiling of the top-K candidates (on-device measurement in
         # the paper, simulator here).
         if self.profiler is not None:
-            for plan in top_k:
+            for plan, _ in ranked:
                 plan.profiled_time_us = self.profiler(plan.result)
-            top_k.sort(key=lambda p: p.best_known_time_us)
+            ranked.sort(key=lambda pair: (pair[0].best_known_time_us, pair[1]))
+        top_k = [plan for plan, _ in ranked]
 
         best = top_k[0] if top_k else None
         elapsed = time.perf_counter() - start

@@ -14,9 +14,8 @@ first row).  :func:`initial_space_size` reproduces that count analytically;
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.dataflow.loop_schedule import LoopSchedule, count_schedules, enumerate_schedules
 from repro.dataflow.tiling import TileConfig, candidate_tile_sizes
@@ -181,6 +180,51 @@ class SearchSpace:
                             gated_sequential=gated_sequential,
                         )
 
+    def candidates_range(
+        self,
+        chain: GemmChainSpec,
+        start: int,
+        stop: int,
+        components: Optional["SpaceComponents"] = None,
+    ) -> Iterator[Tuple[int, FusionCandidate]]:
+        """Yield ``(global_index, candidate)`` for one slice of the space.
+
+        Candidates carry the index they occupy in the full :meth:`candidates`
+        stream, so disjoint ``[start, stop)`` ranges partition the space
+        deterministically: concatenating the slices in index order
+        reproduces the serial enumeration exactly.  This is the sharding
+        primitive of :class:`repro.search.parallel.ParallelSearchEngine` —
+        a worker reconstructs its shard from ``(chain, start, stop)`` alone
+        instead of receiving pickled candidates.
+        """
+        parts = components or self.components(chain)
+        total = parts.size
+        start = max(0, start)
+        stop = min(total, stop)
+        for index in range(start, stop):
+            schedule_index, geometry_index, tile_index, gated_index = parts.decompose(
+                index
+            )
+            yield index, FusionCandidate(
+                chain=chain,
+                schedule=parts.schedules[schedule_index],
+                tile=parts.tiles[tile_index],
+                geometry=parts.geometries[geometry_index],
+                gated_sequential=parts.gated_modes[gated_index],
+            )
+
+    def components(self, chain: GemmChainSpec) -> "SpaceComponents":
+        """The materialised component lists behind :meth:`candidates`."""
+        gated_modes: Tuple[bool, ...] = (False,)
+        if chain.kind is ChainKind.GATED_FFN:
+            gated_modes = (False, True)
+        return SpaceComponents(
+            schedules=self.schedules(),
+            geometries=self.geometries(),
+            tiles=self.tiles(chain),
+            gated_modes=gated_modes,
+        )
+
     def size_estimate(self, chain: GemmChainSpec) -> int:
         """Number of candidates :meth:`candidates` will yield."""
         gated_factor = 2 if chain.kind is ChainKind.GATED_FFN else 1
@@ -190,3 +234,41 @@ class SearchSpace:
             * len(self.tiles(chain))
             * gated_factor
         )
+
+
+@dataclass
+class SpaceComponents:
+    """The per-axis choice lists of one chain's search space.
+
+    The enumeration index of a candidate decomposes over these lists as
+    ``((schedule * |geometries| + geometry) * |tiles| + tile) * |gated|
+    + gated`` — the exact nesting order of :meth:`SearchSpace.candidates`.
+    """
+
+    schedules: List[LoopSchedule]
+    geometries: List[ClusterGeometry]
+    tiles: List[TileConfig]
+    gated_modes: Tuple[bool, ...]
+
+    @property
+    def size(self) -> int:
+        """Total number of candidates the components span."""
+        return (
+            len(self.schedules)
+            * len(self.geometries)
+            * len(self.tiles)
+            * len(self.gated_modes)
+        )
+
+    def decompose(self, index: int) -> Tuple[int, int, int, int]:
+        """Component indices ``(schedule, geometry, tile, gated)`` at ``index``.
+
+        The single source of truth for the enumeration-order contract: both
+        :meth:`SearchSpace.candidates_range` and the parallel engine's shard
+        workers map global indices through this method, so the ordering can
+        never silently diverge between them.
+        """
+        remainder, gated_index = divmod(index, len(self.gated_modes))
+        remainder, tile_index = divmod(remainder, len(self.tiles))
+        schedule_index, geometry_index = divmod(remainder, len(self.geometries))
+        return schedule_index, geometry_index, tile_index, gated_index

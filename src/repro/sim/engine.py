@@ -20,12 +20,11 @@ demonstrates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.dataflow.analyzer import DataflowResult
 from repro.hardware.memory import MemoryLevelName
 from repro.hardware.spec import HardwareSpec
-from repro.ir.graph import GemmChainSpec
 
 
 @dataclass(frozen=True)

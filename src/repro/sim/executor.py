@@ -11,7 +11,6 @@ standard and gated FFNs across cluster geometries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np

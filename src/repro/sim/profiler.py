@@ -11,7 +11,6 @@ from the dataflow analysis of the selected plan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro.dataflow.analyzer import DataflowResult
 from repro.ir.graph import ChainKind, GemmChainSpec

@@ -7,7 +7,6 @@ import pytest
 from repro.api import FlashFuser
 from repro.hardware.spec import a100_spec, h100_spec
 from repro.ir.builders import build_gated_ffn, build_standard_ffn
-from repro.search.space import SearchSpace
 
 
 @pytest.fixture(scope="session")

@@ -4,7 +4,6 @@ import pytest
 
 from repro import FlashFuser, compile_chain, get_workload, h100_spec, list_workloads
 from repro.api import FusionError, KernelTable
-from repro.dsm_comm.primitives import PrimitiveKind
 
 
 class TestCompile:

@@ -1,6 +1,5 @@
 """Tests for execution plans, the kernel IR and the CUDA-like emitter."""
 
-import pytest
 
 from repro.codegen.cuda_emitter import emit_cuda
 from repro.codegen.kernel_ir import KernelIR, KernelSection, lower_plan

@@ -1,0 +1,362 @@
+"""Parallel sharded search: equivalence with the serial engine.
+
+The contract under test is strong: for the same chain and search
+configuration, :class:`~repro.search.parallel.ParallelSearchEngine` must
+return the *identical* best plan, top-K ordering, per-rule pruning counts
+and candidate totals as the serial :class:`~repro.search.engine.SearchEngine`
+— sharding may only change wall-clock.  The supporting pieces (index-sliced
+enumeration, bit-identical batched scoring, the adaptive shard sizer) are
+tested individually as well.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import FlashFuser
+from repro.dataflow.analyzer import DataflowAnalyzer
+from repro.hardware.spec import h100_spec
+from repro.ir.builders import build_gated_ffn, build_standard_ffn
+from repro.runtime.batch import BatchCompiler
+from repro.search.cost_model import CostModel
+from repro.search.engine import SearchEngine
+from repro.search.parallel import AdaptiveShardSizer, ParallelSearchEngine
+from repro.search.pruning import Pruner
+from repro.search.space import SearchSpace
+from repro.sim.engine import PerformanceSimulator
+
+
+def _chain(m=128, n=256, k=128, l=128, name="par-chain"):
+    _, spec = build_standard_ffn(name, m=m, n=n, k=k, l=l)
+    return spec
+
+
+@pytest.fixture(scope="module")
+def device():
+    return h100_spec()
+
+
+@pytest.fixture(scope="module")
+def simulator(device):
+    return PerformanceSimulator(device)
+
+
+def _space(device):
+    return SearchSpace(device, max_tile=128)
+
+
+def _small_shards():
+    """A sizer that forces many shards even on small test spaces."""
+    return AdaptiveShardSizer(
+        target_analyzed=128, initial_chunk=2048, min_chunk=256, max_chunk=8192
+    )
+
+
+def _assert_same_search(serial, parallel):
+    assert serial.candidates_enumerated == parallel.candidates_enumerated
+    assert serial.candidates_analyzed == parallel.candidates_analyzed
+    assert serial.pruning_stats.initial == parallel.pruning_stats.initial
+    assert serial.pruning_stats.surviving == parallel.pruning_stats.surviving
+    assert len(serial.top_k) == len(parallel.top_k)
+    for ours, theirs in zip(serial.top_k, parallel.top_k):
+        assert ours.candidate == theirs.candidate
+        assert ours.predicted_cost_us == theirs.predicted_cost_us
+        assert ours.profiled_time_us == theirs.profiled_time_us
+    assert serial.succeeded == parallel.succeeded
+    if serial.succeeded:
+        assert serial.best.candidate == parallel.best.candidate
+        assert serial.best.predicted_cost_us == parallel.best.predicted_cost_us
+
+
+class TestCandidatesRange:
+    def test_chunked_slices_reproduce_serial_enumeration(self, device):
+        space = _space(device)
+        chain = _chain()
+        serial = list(space.candidates(chain))
+        total = space.size_estimate(chain)
+        assert len(serial) == total
+
+        rebuilt = []
+        # Deliberately irregular chunk sizes: partitioning must not matter.
+        start, sizes = 0, (1, 7, 997, 4096)
+        step = 0
+        while start < total:
+            stop = min(total, start + sizes[step % len(sizes)])
+            for index, candidate in space.candidates_range(chain, start, stop):
+                assert index == len(rebuilt)
+                rebuilt.append(candidate)
+            start = stop
+            step += 1
+        assert rebuilt == serial
+
+    def test_range_is_clamped(self, device):
+        space = _space(device)
+        chain = _chain()
+        total = space.size_estimate(chain)
+        assert list(space.candidates_range(chain, -5, 0)) == []
+        tail = list(space.candidates_range(chain, total - 2, total + 100))
+        assert len(tail) == 2
+        assert tail[-1][0] == total - 1
+
+    def test_gated_chain_interleaves_gated_modes(self, device):
+        space = _space(device)
+        _, gated = build_gated_ffn("par-gated", 128, 256, 128, 128)
+        pairs = list(space.candidates_range(gated, 0, 4))
+        assert [c.gated_sequential for _, c in pairs] == [False, True, False, True]
+
+
+class TestEvaluateBatch:
+    def test_bitwise_identical_to_scalar_evaluate(self, device):
+        space = _space(device)
+        chain = _chain()
+        pruner = Pruner(device)
+        analyzer = DataflowAnalyzer(device)
+        model = CostModel(device)
+        survivors = []
+        for candidate in pruner.prune(space.candidates(chain)):
+            survivors.append(
+                analyzer.analyze(
+                    chain,
+                    candidate.schedule,
+                    candidate.tile,
+                    candidate.geometry,
+                    gated_sequential=candidate.gated_sequential,
+                )
+            )
+            if len(survivors) >= 200:
+                break
+        assert survivors
+        batched = model.evaluate_batch(survivors)
+        scalar = [model.evaluate(result) for result in survivors]
+        # Exact equality, not approx: the parallel engine's serial
+        # reproducibility guarantee rests on bit-identical scores.
+        assert batched.tolist() == scalar
+
+    def test_empty_batch(self, device):
+        assert CostModel(device).evaluate_batch([]).shape == (0,)
+
+
+class TestAdaptiveShardSizer:
+    def test_initial_chunk_before_observations(self):
+        sizer = AdaptiveShardSizer(initial_chunk=4096, min_chunk=512)
+        assert sizer.next_chunk_size() == 4096
+
+    def test_dense_shards_shrink_sparse_shards_grow(self):
+        dense = AdaptiveShardSizer(
+            target_analyzed=100, initial_chunk=8192, min_chunk=64, max_chunk=1 << 20
+        )
+        dense.observe(enumerated=1000, analyzed=500)  # 50% survive
+        assert dense.next_chunk_size() == 200
+
+        sparse = AdaptiveShardSizer(
+            target_analyzed=100, initial_chunk=8192, min_chunk=64, max_chunk=1 << 20
+        )
+        sparse.observe(enumerated=10000, analyzed=10)  # 0.1% survive
+        assert sparse.next_chunk_size() == 100000
+
+    def test_chunk_bounds_respected(self):
+        sizer = AdaptiveShardSizer(
+            target_analyzed=100, initial_chunk=1024, min_chunk=512, max_chunk=2048
+        )
+        sizer.observe(enumerated=10, analyzed=10)
+        assert sizer.next_chunk_size() == 512
+        sizer = AdaptiveShardSizer(
+            target_analyzed=100, initial_chunk=1024, min_chunk=512, max_chunk=2048
+        )
+        sizer.observe(enumerated=100000, analyzed=1)
+        assert sizer.next_chunk_size() == 2048
+
+    def test_smoothing_blends_observations(self):
+        sizer = AdaptiveShardSizer(smoothing=0.5)
+        sizer.observe(enumerated=100, analyzed=100)
+        sizer.observe(enumerated=100, analyzed=0)
+        assert sizer._survival_rate == pytest.approx(0.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveShardSizer(target_analyzed=0)
+        with pytest.raises(ValueError):
+            AdaptiveShardSizer(min_chunk=0)
+        with pytest.raises(ValueError):
+            AdaptiveShardSizer(min_chunk=512, initial_chunk=256)
+        with pytest.raises(ValueError):
+            AdaptiveShardSizer(smoothing=0.0)
+
+
+class _ScriptedCostModel(CostModel):
+    """Deterministic cost script by analysis order, for tie-break tests."""
+
+    def __init__(self, device, costs, default=5.0):
+        super().__init__(device)
+        self._costs = dict(costs)
+        self._default = default
+        self.calls = 0
+
+    def evaluate(self, result):
+        cost = self._costs.get(self.calls, self._default)
+        self.calls += 1
+        return cost
+
+
+class TestTieBreakDeterminism:
+    """The serial heap's tie handling is the contract the merge reproduces.
+
+    Membership must be "the K lexicographically smallest (cost, analysis
+    order) pairs" — in particular, evicting on a strictly better arrival
+    must drop the *latest* of the tied-worst entries, and pure ties must
+    keep the earliest arrivals.
+    """
+
+    def test_all_ties_keep_earliest_candidates(self, device):
+        model = _ScriptedCostModel(device, {})
+        engine = SearchEngine(
+            device, top_k=4, space=_space(device), cost_model=model
+        )
+        result = engine.search(_chain(name="tie-all"))
+        expected = _first_feasible(device, _chain(name="tie-all"), count=4)
+        assert [plan.candidate for plan in result.top_k] == expected
+
+    def test_eviction_drops_latest_of_tied_worst(self, device):
+        # Feasible candidates 0 and 1 tie at 5.0; candidate 7 costs 3.0 and
+        # must evict candidate 1 (the later of the tied-worst), keeping
+        # {7, 0} — the two smallest (cost, order) pairs.
+        model = _ScriptedCostModel(device, {7: 3.0})
+        engine = SearchEngine(
+            device, top_k=2, space=_space(device), cost_model=model
+        )
+        result = engine.search(_chain(name="tie-evict"))
+        feasible = _first_feasible(device, _chain(name="tie-evict"), count=8)
+        assert [plan.candidate for plan in result.top_k] == [feasible[7], feasible[0]]
+        assert [plan.predicted_cost_us for plan in result.top_k] == [3.0, 5.0]
+
+
+def _first_feasible(device, chain, count):
+    """The first ``count`` feasible candidates in analysis order."""
+    space = _space(device)
+    pruner = Pruner(device)
+    analyzer = DataflowAnalyzer(device)
+    feasible = []
+    for candidate in pruner.prune(space.candidates(chain)):
+        result = analyzer.analyze(
+            chain,
+            candidate.schedule,
+            candidate.tile,
+            candidate.geometry,
+            gated_sequential=candidate.gated_sequential,
+        )
+        if not result.feasible:
+            continue
+        feasible.append(candidate)
+        if len(feasible) >= count:
+            break
+    assert len(feasible) >= count
+    return feasible
+
+
+class TestParallelSerialEquivalence:
+    def test_inline_single_worker_matches_serial(self, device, simulator):
+        chain = _chain()
+        serial = SearchEngine(
+            device, top_k=7, profiler=simulator.profile, space=_space(device)
+        ).search(chain)
+        parallel = ParallelSearchEngine(
+            device,
+            top_k=7,
+            profiler=simulator.profile,
+            space=_space(device),
+            parallelism=1,
+            sizer=_small_shards(),
+        ).search(chain)
+        _assert_same_search(serial, parallel)
+
+    def test_process_pool_matches_serial(self, device, simulator):
+        chain = _chain(name="par-chain-pool")
+        serial = SearchEngine(
+            device, top_k=5, profiler=simulator.profile, space=_space(device)
+        ).search(chain)
+        with ParallelSearchEngine(
+            device,
+            top_k=5,
+            profiler=simulator.profile,
+            space=_space(device),
+            parallelism=2,
+            sizer=_small_shards(),
+        ) as engine:
+            parallel = engine.search(chain)
+        _assert_same_search(serial, parallel)
+
+    def test_gated_chain_matches_serial(self, device):
+        _, gated = build_gated_ffn("par-gated-eq", 128, 256, 128, 128)
+        serial = SearchEngine(device, top_k=5, space=_space(device)).search(gated)
+        parallel = ParallelSearchEngine(
+            device,
+            top_k=5,
+            space=_space(device),
+            parallelism=1,
+            sizer=_small_shards(),
+        ).search(gated)
+        _assert_same_search(serial, parallel)
+        assert serial.best.candidate.gated_sequential == (
+            parallel.best.candidate.gated_sequential
+        )
+
+    def test_no_dsm_space_matches_serial(self, device):
+        chain = _chain(name="par-no-dsm")
+        serial = SearchEngine(device, top_k=3, include_dsm=False).search(chain)
+        parallel = ParallelSearchEngine(
+            device, top_k=3, include_dsm=False, parallelism=1, sizer=_small_shards()
+        ).search(chain)
+        _assert_same_search(serial, parallel)
+
+    def test_max_candidates_budget_delegates_to_serial(self, device):
+        chain = _chain(name="par-budget")
+        serial = SearchEngine(
+            device, top_k=3, space=_space(device), max_candidates=10
+        ).search(chain)
+        parallel = ParallelSearchEngine(
+            device, top_k=3, space=_space(device), max_candidates=10, parallelism=2
+        ).search(chain)
+        assert parallel.candidates_analyzed <= 10
+        _assert_same_search(serial, parallel)
+
+    def test_invalid_top_k_rejected(self, device):
+        with pytest.raises(ValueError):
+            ParallelSearchEngine(device, top_k=0)
+
+
+class TestStackWiring:
+    def test_flashfuser_parallelism_compiles_identical_kernel(self, device):
+        chain = _chain(name="par-fuser")
+        with FlashFuser(device=device, top_k=5, max_tile=128) as serial_compiler:
+            serial = serial_compiler.compile(chain)
+        with FlashFuser(
+            device=device, top_k=5, max_tile=128, parallelism=2
+        ) as parallel_compiler:
+            parallel = parallel_compiler.compile(chain)
+        assert parallel.plan.summary() == serial.plan.summary()
+        assert parallel.source == serial.source
+        assert parallel.report.time_us == serial.report.time_us
+
+    def test_parallelism_does_not_change_cache_keys(self, device):
+        serial_compiler = FlashFuser(device=device, top_k=5, max_tile=128)
+        parallel_compiler = FlashFuser(
+            device=device, top_k=5, max_tile=128, parallelism=4
+        )
+        assert serial_compiler.search_config() == parallel_compiler.search_config()
+
+    def test_batch_compiler_process_mode(self, device):
+        chains = [
+            _chain(name="par-batch-a"),
+            _chain(m=64, name="par-batch-b"),
+            _chain(name="par-batch-a"),  # duplicate: deduplicated, not recompiled
+        ]
+        with FlashFuser(device=device, top_k=3, max_tile=128) as compiler:
+            batch = BatchCompiler(compiler, parallelism=2)
+            report = batch.compile_chains(chains)
+        assert report.deduplicated == 1
+        assert report.failed == 0
+        assert len(report.kernels()) == 3
+
+        with FlashFuser(device=device, top_k=3, max_tile=128) as reference:
+            expected = reference.compile(chains[0])
+        assert report.items[0].kernel.plan.summary() == expected.plan.summary()
