@@ -10,22 +10,33 @@ figure of the evaluation.
 
 Typical usage::
 
-    from repro import compile_chain, h100_spec
+    from repro import FuserConfig, FlashFuser
     from repro.ir import get_workload
 
-    chain = get_workload("G5").to_spec()
-    plan = compile_chain(chain, device=h100_spec())
-    print(plan.summary())
+    config = FuserConfig(device="h100")
+    with FlashFuser(config) as compiler:
+        kernel = compiler.compile(get_workload("G5").to_spec())
+    print(kernel.summary())
 """
 
 from repro.api import (
     CompiledKernel,
+    CompileRequest,
+    CompileResponse,
     FlashFuser,
     FusionError,
     KernelTable,
     compile_chain,
 )
-from repro.hardware import HardwareSpec, a100_spec, h100_spec
+from repro.config import FuserConfig
+from repro.hardware import (
+    HardwareSpec,
+    a100_spec,
+    get_device,
+    h100_spec,
+    list_devices,
+    register_device,
+)
 from repro.ir import GemmChainSpec, get_workload, list_workloads
 from repro.search import ParallelSearchEngine, SearchEngine
 from repro.runtime import (
@@ -38,13 +49,19 @@ from repro.runtime import (
 
 __all__ = [
     "CompiledKernel",
+    "CompileRequest",
+    "CompileResponse",
     "FlashFuser",
+    "FuserConfig",
     "FusionError",
     "KernelTable",
     "compile_chain",
     "HardwareSpec",
     "a100_spec",
     "h100_spec",
+    "get_device",
+    "list_devices",
+    "register_device",
     "GemmChainSpec",
     "get_workload",
     "list_workloads",
@@ -57,4 +74,4 @@ __all__ = [
     "warmup_workloads",
 ]
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"

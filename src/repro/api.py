@@ -6,6 +6,15 @@ it owns the hardware model, the search engine and the simulator, and turns a
 tables) into a :class:`CompiledKernel` — the selected execution plan, the
 generated kernel source, and the simulated performance report.
 
+The facade is configured by one :class:`~repro.config.FuserConfig` value
+(``FlashFuser(config, **overrides)``); the pre-config kwargs keep working
+because every config field doubles as a constructor override.  Structured
+entry points wrap the same pipeline: a :class:`CompileRequest` names a chain
+*or* a workload id (plus optional per-request config overrides) and
+:meth:`FlashFuser.compile_request` / :meth:`FlashFuser.submit` answer with a
+:class:`CompileResponse` carrying the kernel and its provenance (effective
+config, cache hit/miss, cache key, wall clock).
+
 A :class:`KernelTable` implements the runtime strategy of Section IV-C3:
 kernels are compiled offline for a set of M bins (N, K and L are fixed by
 the model) and selected at runtime with a table lookup.
@@ -14,15 +23,19 @@ the model) and selected at runtime with a table lookup.
 from __future__ import annotations
 
 import bisect
+import json
 import os
 import threading
+import time
+from concurrent.futures import Executor, Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.codegen.cuda_emitter import emit_cuda
 from repro.codegen.kernel_ir import KernelIR, lower_plan
 from repro.codegen.plan import ExecutionPlan
-from repro.hardware.spec import HardwareSpec, h100_spec
+from repro.config import FuserConfig, warn_deprecated
+from repro.hardware.spec import HardwareSpec
 from repro.ir.graph import GemmChainSpec
 from repro.ir.workloads import get_workload
 from repro.search.cost_model import CostModel
@@ -30,8 +43,9 @@ from repro.search.engine import SearchEngine, SearchResult, SearchSummary
 from repro.sim.engine import PerformanceSimulator, SimulationReport
 from repro.sim.profiler import MemoryProfiler, TrafficReport
 
-if TYPE_CHECKING:
-    from repro.runtime.cache import PlanCache
+#: Memoization key for the compiler's own configured device (the common
+#: case), sparing a fingerprint serialization per compile.
+_DEFAULT_DEVICE_KEY = "<configured-device>"
 
 
 @dataclass
@@ -77,143 +91,273 @@ class CompiledKernel:
         return summary
 
 
+@dataclass(frozen=True)
+class CompileRequest:
+    """One structured compile job: what to compile, and with which knobs.
+
+    Exactly one of ``chain`` and ``workload`` must be given.  ``m`` rescales
+    the chain's M extent (the runtime token/batch dimension); ``overrides``
+    are per-request :class:`~repro.config.FuserConfig` field overrides,
+    applied on top of the serving compiler's config — e.g.
+    ``{"parallelism": 8}`` to fan one cold search across processes without
+    touching the shared configuration.
+    """
+
+    chain: Optional[GemmChainSpec] = None
+    workload: Optional[str] = None
+    m: Optional[int] = None
+    overrides: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.chain is None) == (self.workload is None):
+            raise ValueError(
+                "exactly one of chain= and workload= must be provided"
+            )
+        if self.m is not None and self.m <= 0:
+            raise ValueError("m must be positive")
+        # Snapshot the overrides so a caller mutating its dict afterwards
+        # cannot change an already-constructed request.
+        object.__setattr__(self, "overrides", dict(self.overrides))
+
+    def resolve_chain(self) -> GemmChainSpec:
+        """The concrete chain this request compiles."""
+        if self.chain is not None:
+            chain = self.chain
+        else:
+            chain = get_workload(self.workload).to_spec()
+        if self.m is not None and self.m != chain.m:
+            chain = chain.scaled(m=self.m)
+        return chain
+
+
+@dataclass
+class CompileResponse:
+    """A compiled kernel plus the provenance of how it was produced."""
+
+    kernel: CompiledKernel
+    request: CompileRequest
+    #: The effective configuration (request overrides applied).
+    config: FuserConfig
+    #: Whether the kernel was served by the plan cache instead of a search.
+    cache_hit: bool
+    #: The plan-cache key consulted, or ``None`` when no cache is attached.
+    cache_key: Optional[str]
+    #: Wall-clock seconds spent resolving this request.
+    elapsed_s: float
+
+    def provenance(self) -> Dict[str, object]:
+        """Plain-dictionary provenance view for logs and metrics."""
+        return {
+            "cache_hit": self.cache_hit,
+            "cache_key": self.cache_key,
+            "elapsed_s": self.elapsed_s,
+            "search": dict(self.config.cache_key_fields()),
+            "parallelism": self.config.parallelism,
+        }
+
+
 class FlashFuser:
     """The FlashFuser compiler facade.
 
     Parameters
     ----------
-    device:
-        Target hardware (defaults to the H100 model).
-    top_k:
-        Top-K candidates profiled after the cost-model ranking (11 in the
-        paper).
-    include_dsm:
-        Disable to restrict fusion to a single SM's resources (prior-work
-        behaviour), used by the ablation experiments.
-    max_tile:
-        Largest block tile extent the search considers.
-    cache:
-        Optional plan cache (a :class:`~repro.runtime.cache.PlanCache`
-        instance, or a directory path from which one is created).  When set,
-        :meth:`compile` first consults the cache and stores freshly searched
-        plans back into it, so repeated compilations of canonically identical
-        chains — within this process or across process restarts — skip the
-        fusion search entirely.
-    parallelism:
-        Cold-compile fan-out.  ``None`` or ``1`` runs the serial
-        :class:`~repro.search.engine.SearchEngine`; a larger value shards
-        the candidate space across that many worker processes via
-        :class:`~repro.search.parallel.ParallelSearchEngine`.  The selected
-        plan is identical either way (and so are plan-cache keys — the knob
-        never invalidates cached plans).  Call :meth:`close` (or use the
-        compiler as a context manager) to release worker pools.
+    config:
+        A :class:`~repro.config.FuserConfig`.  Omitted fields take the
+        config defaults (H100 model, the paper's search knobs).
+    **overrides:
+        Any :class:`FuserConfig` field, applied on top of ``config`` — so
+        both ``FlashFuser(FuserConfig(device="a100"))`` and the familiar
+        ``FlashFuser(device="a100", top_k=5)`` construct the same compiler.
+
+    Call :meth:`close` (or use the compiler as a context manager) to release
+    worker pools held by parallel search engines and :meth:`submit`.
     """
 
     def __init__(
         self,
-        device: Optional[HardwareSpec] = None,
-        top_k: int = 11,
-        include_dsm: bool = True,
-        max_tile: int = 256,
-        cache: Optional[Union["PlanCache", str, os.PathLike]] = None,
-        parallelism: Optional[int] = None,
+        config: Optional[Union[FuserConfig, HardwareSpec, str]] = None,
+        **overrides: object,
     ) -> None:
-        self.device = device or h100_spec()
+        if config is not None and not isinstance(config, FuserConfig):
+            # Pre-config API: the first positional argument was the device.
+            warn_deprecated(
+                "flashfuser-positional-device",
+                "passing a device as FlashFuser's positional argument is "
+                "deprecated; pass a FuserConfig, or use the device= override",
+            )
+            if "device" in overrides:
+                raise TypeError(
+                    "device passed both positionally and as an override"
+                )
+            overrides["device"] = config
+            config = None
+        self.config = (config or FuserConfig()).replace(**overrides)
+        self.device = self.config.resolve_device()
+        self._cache = self.config.resolve_cache()
         self.simulator = PerformanceSimulator(self.device)
         self.cost_model = CostModel(self.device)
         self.profiler = MemoryProfiler()
-        self.top_k = top_k
-        self.include_dsm = include_dsm
-        self.max_tile = max_tile
-        self.parallelism = parallelism
-        if isinstance(cache, (str, os.PathLike)):
-            from repro.runtime.cache import PlanCache
-
-            cache = PlanCache(directory=cache)
-        self.cache = cache
-        #: Engines memoized by effective parallelism so repeated compiles
-        #: reuse one worker pool instead of re-forking per chain.  compile()
-        #: is called concurrently from BatchCompiler's thread pool, so the
-        #: lazy construction is lock-guarded.
-        self._engines: Dict[int, object] = {}
-        self._engines_lock = threading.Lock()
-
-    # ------------------------------------------------------------------ #
-    # Compilation
-    # ------------------------------------------------------------------ #
-    def search_config(self) -> Dict[str, object]:
-        """The search parameters that shape compiled plans (cache key part)."""
-        return {
-            "top_k": self.top_k,
-            "include_dsm": self.include_dsm,
-            "max_tile": self.max_tile,
+        #: Engines memoized by their effective (device, search knobs,
+        #: parallelism) so repeated compiles reuse one worker pool instead of
+        #: re-forking per chain.  compile_request() is called concurrently
+        #: from submit()'s pool, so lazy construction is lock-guarded; the
+        #: lock is reentrant because engine construction resolves per-device
+        #: toolchains under the same lock.
+        self._engines: Dict[Tuple[object, ...], object] = {}
+        self._engines_lock = threading.RLock()
+        self._toolchains: Dict[str, Tuple[PerformanceSimulator, CostModel]] = {
+            _DEFAULT_DEVICE_KEY: (self.simulator, self.cost_model)
         }
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Config-derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def top_k(self) -> int:
+        return self.config.top_k
+
+    @property
+    def include_dsm(self) -> bool:
+        return self.config.include_dsm
+
+    @property
+    def max_tile(self) -> int:
+        return self.config.max_tile
+
+    @property
+    def parallelism(self) -> Optional[int]:
+        return self.config.parallelism
+
+    @property
+    def cache(self):
+        """The attached plan cache (``None`` when compiling uncached)."""
+        return self._cache
+
+    @cache.setter
+    def cache(self, value) -> None:
+        self.config = self.config.replace(cache=value)
+        self._cache = self.config.resolve_cache()
+
+    def search_config(self) -> Dict[str, object]:
+        """Deprecated alias for :meth:`FuserConfig.cache_key_fields`."""
+        warn_deprecated(
+            "flashfuser-search-config",
+            "FlashFuser.search_config() is deprecated; use "
+            "FlashFuser.config.cache_key_fields()",
+        )
+        return dict(self.config.cache_key_fields())
 
     def cache_key(self, chain: GemmChainSpec) -> Optional[str]:
         """The plan-cache key for ``chain``, or ``None`` without a cache."""
-        if self.cache is None:
+        if self._cache is None:
             return None
-        return self.cache.key_for(chain, self.device, self.search_config())
+        return self._cache.key_for(
+            chain, self.device, self.config.cache_key_fields()
+        )
 
+    # ------------------------------------------------------------------ #
+    # Structured compilation
+    # ------------------------------------------------------------------ #
+    def compile_request(self, request: CompileRequest) -> CompileResponse:
+        """Resolve one :class:`CompileRequest` synchronously.
+
+        The request's overrides are applied to this compiler's config for
+        the duration of the request only.  With a cache attached (and not
+        overridden away) the cache is consulted first and back-filled on a
+        miss, exactly like :meth:`compile`.
+        """
+        start = time.perf_counter()
+        config = self.config.replace(**request.overrides)
+        chain = request.resolve_chain()
+        device = self._device_for(config)
+        cache = self._cache_for(config)
+        key: Optional[str] = None
+        kernel: Optional[CompiledKernel] = None
+        if cache is not None:
+            key = cache.key_for(chain, device, config.cache_key_fields())
+            kernel = cache.load_kernel(key, chain=chain)
+        cache_hit = kernel is not None
+        if kernel is None:
+            kernel = self._compile_uncached(chain, config, device)
+            if cache is not None and key is not None:
+                cache.store_kernel(key, kernel)
+        return CompileResponse(
+            kernel=kernel,
+            request=request,
+            config=config,
+            cache_hit=cache_hit,
+            cache_key=key,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    def submit(
+        self, request: CompileRequest, executor: Optional[Executor] = None
+    ) -> "Future[CompileResponse]":
+        """Resolve a :class:`CompileRequest` asynchronously.
+
+        Requests run on this compiler's lazily created thread pool (or on
+        ``executor`` when provided, e.g. by
+        :class:`~repro.runtime.batch.BatchCompiler`); concurrent submissions
+        share the memoized search-engine pool, so a parallel engine is
+        forked once, not per future.  The future resolves to a
+        :class:`CompileResponse`; a chain admitting no fused plan raises
+        :class:`FusionError` from ``result()``.
+        """
+        pool = executor if executor is not None else self._ensure_pool()
+        return pool.submit(self.compile_request, request)
+
+    # ------------------------------------------------------------------ #
+    # Classic entry points
+    # ------------------------------------------------------------------ #
     def compile(
         self, chain: GemmChainSpec, parallelism: Optional[int] = None
     ) -> CompiledKernel:
         """Return the best fused kernel for ``chain``, consulting the cache.
 
-        With no cache attached this always runs the full fusion search
-        (:meth:`compile_uncached`); with one attached, a canonically
-        identical chain compiled before — by this process or a previous one —
-        is rehydrated from the stored plan instead.  ``parallelism``
-        overrides the compiler default for this cold compile only; it never
-        changes the selected plan or the cache key.
+        With no cache attached this always runs the full fusion search;
+        with one attached, a canonically identical chain compiled before —
+        by this process or a previous one — is rehydrated from the stored
+        plan instead.  The ``parallelism`` kwarg is deprecated: set
+        :attr:`FuserConfig.parallelism`, or pass a :class:`CompileRequest`
+        with ``overrides={"parallelism": ...}``.
         """
-        if self.cache is None:
-            return self.compile_uncached(chain, parallelism=parallelism)
-        key = self.cache.key_for(chain, self.device, self.search_config())
-        cached = self.cache.load_kernel(key, chain=chain)
-        if cached is not None:
-            return cached
-        kernel = self.compile_uncached(chain, parallelism=parallelism)
-        self.cache.store_kernel(key, kernel)
-        return kernel
+        overrides: Dict[str, object] = {}
+        if parallelism is not None:
+            warn_deprecated(
+                "compile-parallelism-kwarg",
+                "compile(parallelism=...) is deprecated; set "
+                "FuserConfig.parallelism or pass a CompileRequest with "
+                "overrides={'parallelism': ...}",
+            )
+            overrides["parallelism"] = parallelism
+        return self.compile_request(
+            CompileRequest(chain=chain, overrides=overrides)
+        ).kernel
 
     def compile_uncached(
         self, chain: GemmChainSpec, parallelism: Optional[int] = None
     ) -> CompiledKernel:
         """Search, select and lower the best fused kernel for ``chain``."""
-        engine = self._engine_for(parallelism)
-        search = engine.search(chain)
-        if not search.succeeded:
-            raise FusionError(
-                f"no feasible fused plan found for {chain.name}; the chain's "
-                "intermediate exceeds every on-chip placement the search explored"
+        config = self.config
+        if parallelism is not None:
+            warn_deprecated(
+                "compile-parallelism-kwarg",
+                "compile_uncached(parallelism=...) is deprecated; set "
+                "FuserConfig.parallelism or pass a CompileRequest with "
+                "overrides={'parallelism': ...}",
             )
-        best = search.best
-        assert best is not None
-        report = self.simulator.simulate_plan(best.result)
-        plan = ExecutionPlan.from_dataflow(
-            best.result,
-            predicted_cost_us=best.predicted_cost_us,
-            simulated_time_us=report.time_us,
-        )
-        kernel_ir = lower_plan(plan)
-        source = emit_cuda(plan)
-        traffic = self.profiler.profile_fused(best.result)
-        return CompiledKernel(
-            plan=plan,
-            kernel_ir=kernel_ir,
-            source=source,
-            report=report,
-            search=search,
-            traffic=traffic,
-        )
+            config = config.replace(parallelism=parallelism)
+        return self._compile_uncached(chain, config, self._device_for(config))
 
-    def compile_workload(self, workload_id: str, m: Optional[int] = None) -> CompiledKernel:
+    def compile_workload(
+        self, workload_id: str, m: Optional[int] = None
+    ) -> CompiledKernel:
         """Compile one of the paper's workloads (e.g. ``"G5"`` or ``"S3"``)."""
-        spec = get_workload(workload_id).to_spec()
-        if m is not None:
-            spec = spec.scaled(m=m)
-        return self.compile(spec)
+        return self.compile_request(
+            CompileRequest(workload=workload_id, m=m)
+        ).kernel
 
     def compile_table(
         self, chain: GemmChainSpec, m_bins: Sequence[int]
@@ -231,7 +375,11 @@ class FlashFuser:
         return KernelTable(chain=chain, kernels=kernels)
 
     def close(self) -> None:
-        """Release worker pools held by parallel search engines (idempotent)."""
+        """Release worker pools (search engines and the submit pool)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         with self._engines_lock:
             engines, self._engines = dict(self._engines), {}
         for engine in engines.values():
@@ -248,44 +396,127 @@ class FlashFuser:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _engine_for(self, parallelism: Optional[int] = None):
-        """The (memoized) search engine for an effective parallelism."""
-        effective = parallelism if parallelism is not None else self.parallelism
-        effective = max(1, effective or 1)
+    def _device_for(self, config: FuserConfig) -> HardwareSpec:
+        if config.device is self.config.device:
+            return self.device
+        return config.resolve_device()
+
+    def _cache_for(self, config: FuserConfig):
+        if config.cache is self.config.cache:
+            return self._cache
+        return config.resolve_cache()
+
+    def _compile_uncached(
+        self, chain: GemmChainSpec, config: FuserConfig, device: HardwareSpec
+    ) -> CompiledKernel:
+        engine = self._engine_for(config, device)
+        search = engine.search(chain)
+        if not search.succeeded:
+            raise FusionError(
+                f"no feasible fused plan found for {chain.name}; the chain's "
+                "intermediate exceeds every on-chip placement the search explored"
+            )
+        best = search.best
+        assert best is not None
+        simulator, _ = self._toolchain(device)
+        report = simulator.simulate_plan(best.result)
+        plan = ExecutionPlan.from_dataflow(
+            best.result,
+            predicted_cost_us=best.predicted_cost_us,
+            simulated_time_us=report.time_us,
+        )
+        kernel_ir = lower_plan(plan)
+        source = emit_cuda(plan)
+        traffic = self.profiler.profile_fused(best.result)
+        return CompiledKernel(
+            plan=plan,
+            kernel_ir=kernel_ir,
+            source=source,
+            report=report,
+            search=search,
+            traffic=traffic,
+        )
+
+    def _device_key(self, device: HardwareSpec) -> str:
+        """Stable memoization key for a device.
+
+        Fingerprint-based (not ``id()``-based) so per-request overrides that
+        pass fresh-but-identical spec objects reuse the existing toolchain
+        and engines instead of accumulating one entry (and, under parallel
+        search, one process pool) per request.
+        """
+        if device is self.device:
+            return _DEFAULT_DEVICE_KEY
+        return json.dumps(device.fingerprint(), sort_keys=True)
+
+    def _toolchain(
+        self, device: HardwareSpec
+    ) -> Tuple[PerformanceSimulator, CostModel]:
+        """The (memoized) simulator and cost model for a device."""
+        key = self._device_key(device)
         with self._engines_lock:
-            engine = self._engines.get(effective)
+            toolchain = self._toolchains.get(key)
+            if toolchain is None:
+                toolchain = (PerformanceSimulator(device), CostModel(device))
+                self._toolchains[key] = toolchain
+            return toolchain
+
+    def _engine_for(self, config: FuserConfig, device: HardwareSpec):
+        """The (memoized) search engine for an effective configuration."""
+        parallelism = max(1, config.parallelism or 1)
+        key = (
+            self._device_key(device),
+            config.top_k,
+            config.include_dsm,
+            config.max_tile,
+            parallelism,
+        )
+        with self._engines_lock:
+            engine = self._engines.get(key)
             if engine is None:
-                engine = self._make_engine(effective)
-                self._engines[effective] = engine
+                engine = self._make_engine(config, device, parallelism)
+                self._engines[key] = engine
             return engine
 
-    def _make_engine(self, parallelism: int = 1):
+    def _make_engine(
+        self, config: FuserConfig, device: HardwareSpec, parallelism: int
+    ):
         from repro.search.parallel import ParallelSearchEngine
         from repro.search.space import SearchSpace
 
+        simulator, cost_model = self._toolchain(device)
         space = SearchSpace(
-            self.device,
-            max_tile=self.max_tile,
-            include_clusters=self.include_dsm,
+            device,
+            max_tile=config.max_tile,
+            include_clusters=config.include_dsm,
         )
         if parallelism > 1:
             return ParallelSearchEngine(
-                self.device,
-                top_k=self.top_k,
-                include_dsm=self.include_dsm,
-                profiler=self.simulator.profile,
+                device,
+                top_k=config.top_k,
+                include_dsm=config.include_dsm,
+                profiler=simulator.profile,
                 space=space,
-                cost_model=self.cost_model,
+                cost_model=cost_model,
                 parallelism=parallelism,
             )
         return SearchEngine(
-            self.device,
-            top_k=self.top_k,
-            include_dsm=self.include_dsm,
-            profiler=self.simulator.profile,
+            device,
+            top_k=config.top_k,
+            include_dsm=config.include_dsm,
+            profiler=simulator.profile,
             space=space,
-            cost_model=self.cost_model,
+            cost_model=cost_model,
         )
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=min(8, os.cpu_count() or 1),
+                    thread_name_prefix="flashfuser-submit",
+                )
+            return self._pool
 
 
 class FusionError(RuntimeError):
@@ -324,10 +555,14 @@ class KernelTable:
 
 def compile_chain(
     chain: GemmChainSpec,
-    device: Optional[HardwareSpec] = None,
-    top_k: int = 11,
-    include_dsm: bool = True,
+    config: Optional[FuserConfig] = None,
+    **overrides: object,
 ) -> CompiledKernel:
-    """One-shot convenience wrapper around :class:`FlashFuser`."""
-    compiler = FlashFuser(device=device, top_k=top_k, include_dsm=include_dsm)
-    return compiler.compile(chain)
+    """One-shot convenience wrapper around :class:`FlashFuser`.
+
+    The throwaway compiler is used as a context manager so any worker pools
+    it spins up (a parallel search engine, the submit pool) are released
+    even when compilation raises.
+    """
+    with FlashFuser(config, **overrides) as compiler:
+        return compiler.compile(chain)

@@ -1,0 +1,199 @@
+"""Unified compiler configuration.
+
+:class:`FuserConfig` is the single carrier for every search/compile knob the
+stack understands.  One frozen value object flows through
+:class:`~repro.api.FlashFuser`, :class:`~repro.runtime.batch.BatchCompiler`,
+:func:`~repro.runtime.warmup.warmup_workloads` and
+:class:`~repro.runtime.server.KernelServer` instead of each of them copying
+the same kwarg list, and :meth:`FuserConfig.cache_key_fields` is the one
+canonical definition of which knobs shape compiled plans — the plan cache
+derives its keys from it, so the key format cannot drift between call sites.
+
+The module also hosts the deprecation machinery for the pre-config API:
+shims call :func:`warn_deprecated`, which emits each distinct
+:class:`DeprecationWarning` exactly once per process and attributes it to the
+*caller* (so the test suite's ``error::DeprecationWarning:repro.*`` filter
+turns any internal use of a deprecated path into a hard failure while
+downstream callers merely see a warning).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from dataclasses import dataclass, fields, replace as _dataclass_replace
+from typing import TYPE_CHECKING, Dict, Optional, Set, Union
+
+from repro.hardware.registry import device_name_of, get_device
+from repro.hardware.spec import HardwareSpec
+
+if TYPE_CHECKING:
+    from repro.runtime.cache import PlanCache
+
+
+# --------------------------------------------------------------------- #
+# Deprecation plumbing
+# --------------------------------------------------------------------- #
+_WARNED: Set[str] = set()
+_WARNED_LOCK = threading.Lock()
+
+
+def warn_deprecated(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a :class:`DeprecationWarning`, once per ``key``.
+
+    ``stacklevel`` defaults to attributing the warning to the caller of the
+    deprecated shim (shim -> this helper is two frames), which is what makes
+    module-scoped warning filters distinguish internal from external use.
+    """
+    with _WARNED_LOCK:
+        if key in _WARNED:
+            return
+        _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecations already fired (test helper)."""
+    with _WARNED_LOCK:
+        _WARNED.clear()
+
+
+# --------------------------------------------------------------------- #
+# The configuration object
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FuserConfig:
+    """Every knob of the FlashFuser compiler stack, as one frozen value.
+
+    Parameters
+    ----------
+    device:
+        Target hardware: a :class:`~repro.hardware.spec.HardwareSpec` or a
+        name registered with
+        :func:`~repro.hardware.registry.register_device` (``"h100"``,
+        ``"a100"``, ...).
+    top_k:
+        Top-K candidates profiled after the cost-model ranking (11 in the
+        paper).
+    include_dsm:
+        Disable to restrict fusion to a single SM's resources (prior-work
+        behaviour), used by the ablation experiments.
+    max_tile:
+        Largest block tile extent the search considers.
+    cache:
+        Optional plan cache: a :class:`~repro.runtime.cache.PlanCache`
+        instance, or a directory path from which one is created.
+    parallelism:
+        Cold-compile fan-out.  ``None`` or ``1`` runs the serial search
+        engine; a larger value shards the candidate space across that many
+        worker processes.  Never part of the cache key — it cannot change
+        the selected plan.
+    """
+
+    device: Union[str, HardwareSpec] = "h100"
+    top_k: int = 11
+    include_dsm: bool = True
+    max_tile: int = 256
+    cache: Optional[Union["PlanCache", str, os.PathLike]] = None
+    parallelism: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self.max_tile < 1:
+            raise ValueError("max_tile must be >= 1")
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1 (or None for serial)")
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def replace(self, **overrides: object) -> "FuserConfig":
+        """A copy with ``overrides`` applied (validated like construction)."""
+        if not overrides:
+            return self
+        return _dataclass_replace(self, **overrides)
+
+    def resolve_device(self) -> HardwareSpec:
+        """The concrete :class:`HardwareSpec` this config targets."""
+        return get_device(self.device)
+
+    def resolve_cache(self) -> Optional["PlanCache"]:
+        """The concrete :class:`PlanCache`, constructing one from a path."""
+        if self.cache is None:
+            return None
+        from repro.runtime.cache import PlanCache
+
+        if isinstance(self.cache, PlanCache):
+            return self.cache
+        return PlanCache(directory=self.cache)
+
+    def cache_key_fields(self) -> Dict[str, object]:
+        """The knobs that shape compiled plans — the plan-cache key part.
+
+        This is the single canonical definition: exactly ``top_k``,
+        ``include_dsm`` and ``max_tile``.  Device identity enters the key
+        separately (via the hardware fingerprint) and ``parallelism`` and
+        ``cache`` never do, so neither knob invalidates cached plans.
+        """
+        return {
+            "top_k": self.top_k,
+            "include_dsm": self.include_dsm,
+            "max_tile": self.max_tile,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form, suitable for JSON.
+
+        The device is stored by registry name (an unregistered
+        :class:`HardwareSpec` raises — register it first) and the cache by
+        its directory path (a memory-only cache raises, since the handle
+        cannot survive serialization).
+        """
+        device = self.device
+        if isinstance(device, HardwareSpec):
+            name = device_name_of(device)
+            if name is None:
+                raise ValueError(
+                    f"device {device.name!r} is not registered; call "
+                    "register_device() before serializing a FuserConfig "
+                    "that references it"
+                )
+            device = name
+        cache: Optional[str] = None
+        if self.cache is not None:
+            from repro.runtime.cache import PlanCache
+
+            if isinstance(self.cache, PlanCache):
+                if self.cache.directory is None:
+                    raise ValueError(
+                        "a memory-only PlanCache cannot be serialized; use a "
+                        "directory-backed cache (or cache=None)"
+                    )
+                cache = str(self.cache.directory)
+            else:
+                cache = os.fspath(self.cache)
+        return {
+            "device": device,
+            "top_k": self.top_k,
+            "include_dsm": self.include_dsm,
+            "max_tile": self.max_tile,
+            "cache": cache,
+            "parallelism": self.parallelism,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FuserConfig":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown FuserConfig fields {sorted(unknown)}; known: "
+                f"{sorted(known)}"
+            )
+        return cls(**payload)

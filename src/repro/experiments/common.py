@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.api import CompiledKernel, FlashFuser
-from repro.hardware.spec import HardwareSpec, h100_spec
+from repro.config import FuserConfig
+from repro.hardware.spec import HardwareSpec
 from repro.ir.graph import GemmChainSpec
 from repro.ir.workloads import get_workload
 
@@ -14,13 +15,40 @@ GEMM_SUITE = tuple(f"G{i}" for i in range(1, 11))
 CONV_SUITE = tuple(f"C{i}" for i in range(1, 9))
 GATED_SUITE = tuple(f"S{i}" for i in range(1, 9))
 
+#: A device argument anywhere in the experiment layer: a spec, a registered
+#: name (``"h100"``, ``"a100"``, or anything added via ``register_device``),
+#: or ``None`` for the config default.
+DeviceLike = Union[str, HardwareSpec, None]
+
+
+def fuser_from_config(
+    config: Optional[FuserConfig] = None, **overrides
+) -> FlashFuser:
+    """The one place experiment drivers construct a :class:`FlashFuser`.
+
+    Drivers and the shared :class:`CompilerCache` route through this helper
+    so every figure/table honours the same :class:`FuserConfig` (including
+    registry device names from a ``--device`` flag) instead of re-assembling
+    compilers ad hoc.
+    """
+    return FlashFuser(config, **overrides)
+
 
 class CompilerCache:
     """Compile each workload at most once across experiments."""
 
-    def __init__(self, device: Optional[HardwareSpec] = None, **kwargs) -> None:
-        self.device = device or h100_spec()
-        self.compiler = FlashFuser(device=self.device, **kwargs)
+    def __init__(
+        self,
+        device: DeviceLike = None,
+        config: Optional[FuserConfig] = None,
+        **kwargs,
+    ) -> None:
+        base = config or FuserConfig()
+        if device is not None:
+            base = base.replace(device=device)
+        self.compiler = fuser_from_config(base, **kwargs)
+        self.config = self.compiler.config
+        self.device = self.compiler.device
         self._cache: Dict[str, CompiledKernel] = {}
 
     def get(self, workload_id: str) -> CompiledKernel:

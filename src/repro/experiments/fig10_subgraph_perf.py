@@ -16,11 +16,11 @@ from repro.experiments.common import (
     GATED_SUITE,
     GEMM_SUITE,
     CompilerCache,
+    DeviceLike,
     chain_for,
     format_table,
     geometric_mean,
 )
-from repro.hardware.spec import HardwareSpec
 
 #: Baselines shown in Figure 10.
 FIGURE10_BASELINES = ("bolt", "chimera", "relay", "taso", "tensorrt", "pytorch")
@@ -29,7 +29,7 @@ FIGURE10_BASELINES = ("bolt", "chimera", "relay", "taso", "tensorrt", "pytorch")
 def run(
     workloads: Optional[Sequence[str]] = None,
     baselines: Sequence[str] = FIGURE10_BASELINES,
-    device: Optional[HardwareSpec] = None,
+    device: DeviceLike = None,
     compiler_cache: Optional[CompilerCache] = None,
 ) -> List[Dict[str, object]]:
     """Latency of FlashFuser and each baseline per workload."""
@@ -64,9 +64,9 @@ def summarize(rows: List[Dict[str, object]], baselines: Sequence[str] = FIGURE10
     return summary
 
 
-def main() -> None:
+def main(device: DeviceLike = None) -> None:
     """Print Figure 10's data and the average speedups."""
-    rows = run()
+    rows = run(device=device)
     print("Figure 10: subgraph performance (latencies in us)")
     print(format_table(rows))
     print()

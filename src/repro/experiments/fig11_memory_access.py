@@ -13,17 +13,17 @@ from repro.experiments.common import (
     CONV_SUITE,
     GEMM_SUITE,
     CompilerCache,
+    DeviceLike,
     chain_for,
     format_table,
     geometric_mean,
 )
-from repro.hardware.spec import HardwareSpec
 from repro.sim.profiler import MemoryProfiler
 
 
 def run(
     workloads: Optional[Sequence[str]] = None,
-    device: Optional[HardwareSpec] = None,
+    device: DeviceLike = None,
     compiler_cache: Optional[CompilerCache] = None,
 ) -> List[Dict[str, object]]:
     """Global traffic of unfused (PyTorch) vs fused (FlashFuser) execution."""
@@ -64,9 +64,9 @@ def summarize(rows: List[Dict[str, object]]) -> Dict[str, float]:
     }
 
 
-def main() -> None:
+def main(device: DeviceLike = None) -> None:
     """Print Figure 11's data."""
-    rows = run()
+    rows = run(device=device)
     print("Figure 11: global memory access, PyTorch vs FlashFuser")
     print(format_table(rows))
     print()

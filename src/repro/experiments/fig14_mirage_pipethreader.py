@@ -13,16 +13,16 @@ from repro.baselines.registry import make_baseline
 from repro.experiments.common import (
     GATED_SUITE,
     CompilerCache,
+    DeviceLike,
     chain_for,
     format_table,
     geometric_mean,
 )
-from repro.hardware.spec import HardwareSpec
 
 
 def run(
     workloads: Optional[Sequence[str]] = None,
-    device: Optional[HardwareSpec] = None,
+    device: DeviceLike = None,
     compiler_cache: Optional[CompilerCache] = None,
 ) -> List[Dict[str, object]]:
     """FlashFuser speedup over Mirage and PipeThreader per workload."""
@@ -62,9 +62,9 @@ def summarize(rows: List[Dict[str, object]]) -> Dict[str, float]:
     }
 
 
-def main() -> None:
+def main(device: DeviceLike = None) -> None:
     """Print Figure 14's data."""
-    rows = run()
+    rows = run(device=device)
     print("Figure 14: FlashFuser vs Mirage and PipeThreader (gated FFNs)")
     print(format_table(rows))
     print()

@@ -23,11 +23,12 @@ from repro.experiments.common import (
     CONV_SUITE,
     GEMM_SUITE,
     CompilerCache,
+    DeviceLike,
     chain_for,
     format_table,
     geometric_mean,
 )
-from repro.hardware.spec import HardwareSpec, h100_spec
+from repro.hardware.registry import get_device
 from repro.search.engine import SearchEngine
 from repro.search.pruning import Pruner
 from repro.search.space import SearchSpace
@@ -87,14 +88,14 @@ def _smem_only_time(chain, device, simulator) -> Optional[float]:
 
 def run(
     workloads: Optional[Sequence[str]] = None,
-    device: Optional[HardwareSpec] = None,
+    device: DeviceLike = None,
     compiler_cache: Optional[CompilerCache] = None,
     seed: int = 0,
 ) -> List[Dict[str, object]]:
     """Speedup over no-fusion for All / DC+DA / DA per workload."""
-    device = device or h100_spec()
     workloads = list(workloads or (*CONV_SUITE, *GEMM_SUITE))
     cache = compiler_cache or CompilerCache(device=device)
+    device = cache.device if device is None else get_device(device)
     simulator = PerformanceSimulator(device)
     no_fusion = PyTorchBaseline(device=device)
 
@@ -129,9 +130,9 @@ def summarize(rows: List[Dict[str, object]]) -> Dict[str, float]:
     }
 
 
-def main() -> None:
+def main(device: DeviceLike = None) -> None:
     """Print Figure 15's data."""
-    rows = run()
+    rows = run(device=device)
     print("Figure 15: ablation study (speedup over no-fusion)")
     print(format_table(rows))
     print()

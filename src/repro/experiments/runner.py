@@ -9,8 +9,9 @@ representative subset.
 from __future__ import annotations
 
 import argparse
+import inspect
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     fig4_dsm_bandwidth,
@@ -51,14 +52,23 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], None]] = {
 QUICK_EXPERIMENTS = ("table1", "fig4", "table4", "fig13", "fig11", "fig17")
 
 
-def run_all(names: List[str]) -> None:
-    """Run the named experiments, timing each."""
+def run_all(names: List[str], device: Optional[str] = None) -> None:
+    """Run the named experiments, timing each.
+
+    ``device`` is a registered device name (``h100``, ``a100``, ...) passed
+    to every experiment whose driver accepts one; hardware-agnostic drivers
+    (and those pinned to the paper's platform) run unchanged.
+    """
     for name in names:
         if name not in ALL_EXPERIMENTS:
             raise KeyError(f"unknown experiment {name!r}; choose from {list(ALL_EXPERIMENTS)}")
+        experiment = ALL_EXPERIMENTS[name]
+        kwargs = {}
+        if device is not None and "device" in inspect.signature(experiment).parameters:
+            kwargs["device"] = device
         print("=" * 78)
         start = time.perf_counter()
-        ALL_EXPERIMENTS[name]()
+        experiment(**kwargs)
         print(f"[{name} finished in {time.perf_counter() - start:.1f}s]")
         print()
 
@@ -68,6 +78,11 @@ def main() -> None:
     parser = argparse.ArgumentParser(description="FlashFuser reproduction experiments")
     parser.add_argument("experiments", nargs="*", help="experiment names (default: all)")
     parser.add_argument("--quick", action="store_true", help="run the fast subset only")
+    parser.add_argument(
+        "--device",
+        default=None,
+        help="registered device name to compile for (e.g. h100, a100)",
+    )
     args = parser.parse_args()
     if args.experiments:
         names = args.experiments
@@ -75,7 +90,7 @@ def main() -> None:
         names = list(QUICK_EXPERIMENTS)
     else:
         names = list(ALL_EXPERIMENTS)
-    run_all(names)
+    run_all(names, device=args.device)
 
 
 if __name__ == "__main__":

@@ -9,12 +9,21 @@ hardware model supplies everything downstream components need:
   of thread-block-cluster size (:mod:`repro.hardware.dsm`, Figure 4 of the
   paper),
 * cluster limits and MMA granularity (:mod:`repro.hardware.cluster`),
-* full device presets such as the NVIDIA H100 SXM (:mod:`repro.hardware.spec`).
+* full device presets such as the NVIDIA H100 SXM (:mod:`repro.hardware.spec`),
+* a name-based device registry so ``device="a100"`` works everywhere a
+  :class:`HardwareSpec` does (:mod:`repro.hardware.registry`).
 """
 
 from repro.hardware.cluster import ClusterLimits
 from repro.hardware.dsm import DsmModel
 from repro.hardware.memory import MemoryHierarchy, MemoryLevel
+from repro.hardware.registry import (
+    device_name_of,
+    get_device,
+    list_devices,
+    register_device,
+    unregister_device,
+)
 from repro.hardware.spec import HardwareSpec, a100_spec, h100_spec
 
 __all__ = [
@@ -25,4 +34,9 @@ __all__ = [
     "HardwareSpec",
     "a100_spec",
     "h100_spec",
+    "device_name_of",
+    "get_device",
+    "list_devices",
+    "register_device",
+    "unregister_device",
 ]

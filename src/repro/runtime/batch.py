@@ -2,17 +2,22 @@
 
 :class:`BatchCompiler` fans independent compile jobs — the M bins of a
 kernel table, or a multi-workload warmup sweep — across a
-``concurrent.futures`` thread pool.  Before anything is submitted the job
-list is deduplicated by canonical plan-cache key, so a batch containing the
-same chain shape twice (or a shape already sitting in the attached
+``concurrent.futures`` thread pool.  It is a thin fan-out over
+:meth:`~repro.api.FlashFuser.submit`: each deduplicated job becomes one
+:class:`~repro.api.CompileRequest`, and the resulting
+:class:`~repro.api.CompileResponse` provenance (cache hit/miss, wall clock)
+feeds the batch report directly.  Before anything is submitted the job list
+is deduplicated by canonical plan-cache key, so a batch containing the same
+chain shape twice (or a shape already sitting in the attached
 :class:`~repro.runtime.cache.PlanCache`) runs the fusion search at most
 once.  Failures (:class:`~repro.api.FusionError`) are captured per job
 instead of aborting the batch.
 
 A note on parallelism: the fusion search in this reproduction is pure
 Python, so under the GIL the thread pool alone overlaps cache/disk I/O but
-does not multiply search throughput across cores.  The ``parallelism``
-knob closes that gap: cold compiles are routed through the sharded
+does not multiply search throughput across cores.
+:attr:`~repro.config.FuserConfig.parallelism` closes that gap: cold
+compiles are routed through the sharded
 :class:`~repro.search.parallel.ParallelSearchEngine`, whose worker
 *processes* sidestep the GIL (and whose single-worker mode is itself
 faster than the serial engine thanks to memoized pruning and batched
@@ -24,11 +29,18 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import Executor, ThreadPoolExecutor
+from concurrent.futures import Executor, Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.api import CompiledKernel, FlashFuser, FusionError, KernelTable
+from repro.api import (
+    CompiledKernel,
+    CompileRequest,
+    FlashFuser,
+    FusionError,
+    KernelTable,
+)
+from repro.config import FuserConfig, warn_deprecated
 from repro.ir.graph import GemmChainSpec
 from repro.ir.workloads import get_chain_spec
 
@@ -89,17 +101,25 @@ class BatchCompiler:
     ----------
     compiler:
         The compiler the jobs run through.  Attaching a cache to it makes
-        batches idempotent across calls and processes.
+        batches idempotent across calls and processes.  When omitted, a
+        compiler is built from ``config``.
     max_workers:
         Worker-pool width (defaults to ``min(8, cpu_count)``).
     executor:
         Optional externally managed executor; when provided it is *not*
         shut down by this class and ``max_workers`` is ignored.
+    overrides:
+        Per-request :class:`~repro.config.FuserConfig` overrides applied to
+        every job in every batch (e.g. ``{"parallelism": 8}`` to route cold
+        compiles through the sharded process-parallel engine).  Cached and
+        deduplicated jobs are unaffected, and compiled plans are identical
+        either way — only cold wall-clock changes.
+    config:
+        Configuration for the internally constructed compiler when
+        ``compiler`` is omitted.
     parallelism:
-        Process-pool mode: when set (> 1), cold compiles are routed through
-        the sharded parallel search engine with that many worker processes.
-        Cached and deduplicated jobs are unaffected, and the compiled plans
-        are identical to serial compilation — only cold wall-clock changes.
+        Deprecated: use ``overrides={"parallelism": N}`` or set
+        :attr:`FuserConfig.parallelism` on the compiler.
     """
 
     def __init__(
@@ -108,11 +128,50 @@ class BatchCompiler:
         max_workers: Optional[int] = None,
         executor: Optional[Executor] = None,
         parallelism: Optional[int] = None,
+        config: Optional[FuserConfig] = None,
+        overrides: Optional[Mapping[str, object]] = None,
     ) -> None:
-        self.compiler = compiler or FlashFuser()
+        owns_compiler = compiler is None
+        if compiler is None:
+            compiler = FlashFuser(config)
+        elif config is not None:
+            raise ValueError("pass either compiler= or config=, not both")
+        self.compiler = compiler
+        self._owns_compiler = owns_compiler
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
-        self.parallelism = parallelism
+        self.overrides: Dict[str, object] = dict(overrides or {})
+        if parallelism is not None:
+            warn_deprecated(
+                "batch-parallelism-kwarg",
+                "BatchCompiler(parallelism=...) is deprecated; set "
+                "FuserConfig.parallelism on the compiler, or pass "
+                "overrides={'parallelism': ...}",
+            )
+            self.overrides.setdefault("parallelism", parallelism)
         self._executor = executor
+
+    @property
+    def parallelism(self) -> Optional[int]:
+        """The effective cold-compile fan-out for this batch's jobs."""
+        override = self.overrides.get("parallelism")
+        if override is not None:
+            return int(override)
+        return self.compiler.config.parallelism
+
+    def close(self) -> None:
+        """Release an internally constructed compiler's worker pools.
+
+        A compiler passed in by the caller is the caller's to close; one
+        built from ``config`` is owned (and closed) here.
+        """
+        if self._owns_compiler:
+            self.compiler.close()
+
+    def __enter__(self) -> "BatchCompiler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Batch entry points
@@ -121,8 +180,8 @@ class BatchCompiler:
         """Compile every chain, deduplicating canonically identical ones.
 
         Jobs whose shape is already present in the compiler's plan cache are
-        resolved without entering the pool; duplicate shapes within the
-        batch are compiled once and fanned back out to every requesting job.
+        resolved without a search; duplicate shapes within the batch are
+        compiled once and fanned back out to every requesting job.
         """
         start = time.perf_counter()
         report = BatchReport()
@@ -137,54 +196,23 @@ class BatchCompiler:
             groups.setdefault(key, []).append(index)
         report.deduplicated = len(chains) - len(groups)
 
-        def run_group(indices: List[int]) -> None:
-            leader = chains[indices[0]]
-            # Classify before compiling: a memoized hit hands back the
-            # originally compiled kernel object, so the entry's presence in
-            # the cache is the reliable signal that no search will run.
-            key = self.compiler.cache_key(leader)
-            cache = self.compiler.cache
-            was_cached = (
-                key is not None and cache is not None and cache.contains(key)
-            )
-            job_start = time.perf_counter()
-            try:
-                kernel = self.compiler.compile(leader, parallelism=self.parallelism)
-                status = (
-                    STATUS_CACHED
-                    if was_cached or getattr(kernel.search, "from_cache", False)
-                    else STATUS_COMPILED
-                )
-                error = None
-            except FusionError as exc:
-                kernel, status, error = None, STATUS_FAILED, str(exc)
-            elapsed = time.perf_counter() - job_start
-            for position, index in enumerate(indices):
-                chain = chains[index]
-                item = report.items[index]
-                item.elapsed_s = elapsed if position == 0 else 0.0
-                item.error = error
-                if kernel is None:
-                    item.status = STATUS_FAILED
-                    continue
-                # Followers share the leader's plan; they count as cached
-                # because no additional search ran for them.
-                item.status = status if position == 0 else STATUS_CACHED
-                item.kernel = (
-                    kernel
-                    if position == 0
-                    else self._renamed(kernel, chain)
-                )
-            # After the leader, identical shapes are served from the cache.
-
         owns_executor = self._executor is None
         executor = self._executor or ThreadPoolExecutor(max_workers=self.max_workers)
         try:
             futures = [
-                executor.submit(run_group, indices) for indices in groups.values()
+                (
+                    indices,
+                    self.compiler.submit(
+                        CompileRequest(
+                            chain=chains[indices[0]], overrides=self.overrides
+                        ),
+                        executor=executor,
+                    ),
+                )
+                for indices in groups.values()
             ]
-            for future in futures:
-                future.result()
+            for indices, future in futures:
+                self._record_group(report, chains, indices, future)
         finally:
             if owns_executor:
                 executor.shutdown(wait=True)
@@ -226,6 +254,37 @@ class BatchCompiler:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _record_group(
+        self,
+        report: BatchReport,
+        chains: Sequence[GemmChainSpec],
+        indices: List[int],
+        future: "Future",
+    ) -> None:
+        """Fan one group's response (or failure) out to its job items."""
+        try:
+            response = future.result()
+            kernel = response.kernel
+            status = STATUS_CACHED if response.cache_hit else STATUS_COMPILED
+            error = None
+            elapsed = response.elapsed_s
+        except FusionError as exc:
+            kernel, status, error, elapsed = None, STATUS_FAILED, str(exc), 0.0
+        for position, index in enumerate(indices):
+            chain = chains[index]
+            item = report.items[index]
+            item.elapsed_s = elapsed if position == 0 else 0.0
+            item.error = error
+            if kernel is None:
+                item.status = STATUS_FAILED
+                continue
+            # Followers share the leader's plan; they count as cached
+            # because no additional search ran for them.
+            item.status = status if position == 0 else STATUS_CACHED
+            item.kernel = (
+                kernel if position == 0 else self._renamed(kernel, chain)
+            )
+
     def _dedup_key(self, chain: GemmChainSpec) -> str:
         key = self.compiler.cache_key(chain)
         return key if key is not None else chain.canonical_hash()

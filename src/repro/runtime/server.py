@@ -1,7 +1,8 @@
 """Kernel-serving frontend for dynamic-shape requests.
 
 :class:`KernelServer` implements the paper's Section IV-C3 runtime strategy
-as a long-lived service: requests name a workload and a *runtime* M (the
+as a long-lived service: requests name a workload (or carry an arbitrary
+chain via :class:`~repro.api.CompileRequest`) and a *runtime* M (the
 token/batch dimension that varies per request); the server resolves them
 through a chain of progressively more expensive sources:
 
@@ -20,16 +21,19 @@ paper's workload suites so steady-state traffic never leaves source 1.
 from __future__ import annotations
 
 import bisect
+import hashlib
+import json
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
-from repro.api import CompiledKernel, FlashFuser, KernelTable
+from repro.api import CompiledKernel, CompileRequest, FlashFuser, KernelTable
+from repro.config import FuserConfig, warn_deprecated
 from repro.ir.graph import GemmChainSpec
 from repro.ir.workloads import get_chain_spec
 from repro.runtime.batch import BatchCompiler
-from repro.runtime.cache import TIER_MEMORY, PlanCache
+from repro.runtime.cache import TIER_MEMORY
 from repro.runtime.stats import ServingStats
 from repro.runtime.warmup import WarmupReport, warmup_workloads
 
@@ -57,28 +61,31 @@ class ServeResponse:
 
 
 class KernelServer:
-    """Resolve (workload, runtime M) requests to compiled kernels.
+    """Resolve dynamic-shape requests to compiled kernels.
 
     Parameters
     ----------
     compiler:
-        The compiler backing cache misses (a default H100
-        :class:`FlashFuser` when omitted).
+        The compiler backing cache misses.  When omitted, one is built from
+        ``config`` and the constructor overrides.
     cache:
         Plan cache attached to the compiler when it has none (pass a
-        :class:`~repro.runtime.cache.PlanCache` or rely on the compiler's
-        own).  Without any cache the server still memoizes kernels in its
-        tables, but nothing survives a restart.
+        :class:`~repro.runtime.cache.PlanCache` or a directory path).
+        Without any cache the server still memoizes kernels in its tables,
+        but nothing survives a restart.
     m_bins:
         The M bins requests are quantised to (ascending after dedup).
     stats:
         Metrics sink (a fresh :class:`ServingStats` when omitted).
     max_workers:
         Worker-pool width used by :meth:`warmup`.
+    config:
+        A :class:`~repro.config.FuserConfig` for the internally constructed
+        compiler when ``compiler`` is omitted; any additional keyword
+        arguments are applied as config overrides
+        (``KernelServer(config=FuserConfig(parallelism=4), top_k=5)``).
     parallelism:
-        When set (> 1), cold searches — warmup sweeps and on-demand compile
-        misses alike — run on the sharded process-parallel search engine.
-        Serving results are identical; only cold latency changes.
+        Deprecated: set :attr:`FuserConfig.parallelism` instead.
     """
 
     def __init__(
@@ -89,13 +96,30 @@ class KernelServer:
         stats: Optional[ServingStats] = None,
         max_workers: Optional[int] = None,
         parallelism: Optional[int] = None,
+        config: Optional[FuserConfig] = None,
+        **overrides: object,
     ) -> None:
-        if cache is not None and not isinstance(cache, PlanCache):
-            cache = PlanCache(directory=cache)
+        self._overrides: Dict[str, object] = {}
+        if parallelism is not None:
+            warn_deprecated(
+                "server-parallelism-kwarg",
+                "KernelServer(parallelism=...) is deprecated; set "
+                "FuserConfig.parallelism (e.g. "
+                "KernelServer(config=FuserConfig(parallelism=N)))",
+            )
+            self._overrides["parallelism"] = parallelism
         if compiler is None:
-            compiler = FlashFuser(cache=cache)
-        elif cache is not None and compiler.cache is None:
-            compiler.cache = cache
+            base = (config or FuserConfig()).replace(**overrides)
+            if cache is not None and base.cache is None:
+                base = base.replace(cache=cache)
+            compiler = FlashFuser(base)
+        else:
+            if config is not None or overrides:
+                raise ValueError(
+                    "pass either compiler= or config=/overrides, not both"
+                )
+            if cache is not None and compiler.cache is None:
+                compiler.cache = cache
         self.compiler = compiler
         self.cache = compiler.cache
         bins = tuple(sorted(set(m_bins if m_bins is not None else DEFAULT_M_BINS)))
@@ -105,9 +129,8 @@ class KernelServer:
             raise ValueError("m_bins must be positive")
         self.m_bins = bins
         self.stats = stats or ServingStats()
-        self.parallelism = parallelism
         self.batch = BatchCompiler(
-            compiler, max_workers=max_workers, parallelism=parallelism
+            compiler, max_workers=max_workers, overrides=self._overrides
         )
         self._tables: Dict[str, KernelTable] = {}
         self._chains: Dict[str, GemmChainSpec] = {}
@@ -115,6 +138,14 @@ class KernelServer:
         # One lock per (workload, bin) so concurrent first requests for the
         # same kernel run a single search instead of racing duplicates.
         self._inflight: Dict[Tuple[str, int], threading.Lock] = {}
+
+    @property
+    def parallelism(self) -> Optional[int]:
+        """The effective cold-compile fan-out for this server's misses."""
+        override = self._overrides.get("parallelism")
+        if override is not None:
+            return int(override)
+        return self.compiler.config.parallelism
 
     # ------------------------------------------------------------------ #
     # Request path
@@ -126,25 +157,52 @@ class KernelServer:
         index = bisect.bisect_left(self.m_bins, m)
         return self.m_bins[min(index, len(self.m_bins) - 1)]
 
-    def request(self, workload_id: str, m: int) -> ServeResponse:
+    def request(
+        self,
+        request: Union[str, CompileRequest],
+        m: Optional[int] = None,
+    ) -> ServeResponse:
         """Serve one dynamic-shape request.
+
+        Accepts the classic form — ``request("G4", m)`` with a workload id
+        and a runtime M — or a :class:`~repro.api.CompileRequest`, which may
+        carry an arbitrary chain instead of a workload id (keyed in the
+        server's tables by the chain's M-independent canonical shape) and
+        per-request config overrides for the cold-compile path.
 
         Raises :class:`~repro.api.FusionError` when the request falls
         through to an on-demand compile and no feasible fused plan exists.
         """
         start = time.perf_counter()
-        bin_m = self.bin_for(m)
-        base = self._base_chain(workload_id)
-        with self._lock:
-            table = self._tables.setdefault(
-                workload_id, KernelTable(chain=base)
+        key, base, runtime_m, overrides = self._parse_request(request, m)
+        bin_m = self.bin_for(runtime_m)
+        # The shared kernel tables are keyed by (workload/shape, bin) only,
+        # so they may serve and store solely kernels compiled under the
+        # server's own config.  parallelism cannot change the selected plan;
+        # any other override reshapes it, so such requests bypass the table
+        # (they still resolve through the plan cache and compile path).
+        plan_neutral = set(overrides) <= {"parallelism"}
+        if not plan_neutral:
+            binned = base.scaled(m=bin_m, name=f"{base.name}_m{bin_m}")
+            kernel, source = self._resolve_miss(binned, overrides)
+            latency_us = (time.perf_counter() - start) * 1e6
+            self.stats.record_request(key, source, latency_us)
+            return ServeResponse(
+                workload=key,
+                m=runtime_m,
+                bin_m=bin_m,
+                kernel=kernel,
+                source=source,
+                latency_us=latency_us,
             )
+        with self._lock:
+            table = self._tables.setdefault(key, KernelTable(chain=base))
             kernel = table.kernels.get(bin_m)
         source = SOURCE_TABLE
         if kernel is None:
             with self._lock:
                 inflight = self._inflight.setdefault(
-                    (workload_id, bin_m), threading.Lock()
+                    (key, bin_m), threading.Lock()
                 )
             with inflight:
                 # Another request may have resolved this bin while we waited.
@@ -152,14 +210,14 @@ class KernelServer:
                     kernel = table.kernels.get(bin_m)
                 if kernel is None:
                     binned = base.scaled(m=bin_m, name=f"{base.name}_m{bin_m}")
-                    kernel, source = self._resolve_miss(binned)
+                    kernel, source = self._resolve_miss(binned, overrides)
                     with self._lock:
                         table.kernels[bin_m] = kernel
         latency_us = (time.perf_counter() - start) * 1e6
-        self.stats.record_request(workload_id, source, latency_us)
+        self.stats.record_request(key, source, latency_us)
         return ServeResponse(
-            workload=workload_id,
-            m=m,
+            workload=key,
+            m=runtime_m,
             bin_m=bin_m,
             kernel=kernel,
             source=source,
@@ -191,7 +249,7 @@ class KernelServer:
     def close(self) -> None:
         """Release compiler-held worker pools (idempotent).
 
-        Long-lived deployments using ``parallelism`` should close the server
+        Long-lived deployments using parallel search should close the server
         (or use it as a context manager) when retiring it, so the process
         pool behind cold compiles does not outlive the serving loop.
         """
@@ -223,6 +281,45 @@ class KernelServer:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _parse_request(
+        self, request: Union[str, CompileRequest], m: Optional[int]
+    ) -> Tuple[str, GemmChainSpec, int, Dict[str, object]]:
+        """Normalize a request to (table key, base chain, runtime M, overrides)."""
+        if isinstance(request, CompileRequest):
+            if m is not None:
+                raise TypeError(
+                    "pass the runtime M inside the CompileRequest (m=...), "
+                    "not as a second argument"
+                )
+            overrides = {**self._overrides, **request.overrides}
+            if request.workload is not None:
+                key = request.workload
+                base = self._base_chain(key)
+            else:
+                base = request.chain
+                key = self._chain_key(base)
+                with self._lock:
+                    self._chains.setdefault(key, base)
+            runtime_m = request.m if request.m is not None else base.m
+            return key, base, runtime_m, overrides
+        if m is None:
+            raise TypeError("request(workload_id, m) requires a runtime M")
+        return request, self._base_chain(request), m, dict(self._overrides)
+
+    @staticmethod
+    def _chain_key(chain: GemmChainSpec) -> str:
+        """Table key for an explicit chain: its M-independent shape.
+
+        The runtime M is what requests vary, so it is excluded — requests
+        for the same N/K/L family share one table regardless of the M their
+        chain object happened to carry.
+        """
+        identity = {
+            k: v for k, v in chain.canonical_dict().items() if k != "m"
+        }
+        blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        return "chain:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
     def _base_chain(self, workload_id: str) -> GemmChainSpec:
         with self._lock:
             chain = self._chains.get(workload_id)
@@ -231,21 +328,32 @@ class KernelServer:
                 self._chains[workload_id] = chain
             return chain
 
-    def _resolve_miss(self, chain: GemmChainSpec):
+    def _resolve_miss(
+        self, chain: GemmChainSpec, overrides: Dict[str, object]
+    ):
         """Resolve a table miss through the cache, then on-demand compile.
 
         The cache is consulted directly (rather than inferring the source
         afterwards) so the recorded source is what actually happened — an
         unreadable disk entry, for example, is reported as a compile.
         """
-        if self.cache is not None:
-            key = self.compiler.cache_key(chain)
-            tier = self.cache.tier_of(key)
-            kernel = self.cache.load_kernel(key, chain=chain)
+        config = self.compiler.config.replace(**overrides)
+        # Resolve the cache and device exactly as compile_request will, so
+        # the key consulted here is the key a fresh compile stores under
+        # even when the overrides redirect the device or the cache.
+        cache = self.compiler._cache_for(config)
+        if cache is not None:
+            key = cache.key_for(
+                chain, self.compiler._device_for(config), config.cache_key_fields()
+            )
+            tier = cache.tier_of(key)
+            kernel = cache.load_kernel(key, chain=chain)
             if kernel is not None:
                 source = (
                     SOURCE_CACHE_MEMORY if tier == TIER_MEMORY else SOURCE_CACHE_DISK
                 )
                 return kernel, source
-        kernel = self.compiler.compile(chain, parallelism=self.parallelism)
-        return kernel, SOURCE_COMPILED
+        response = self.compiler.compile_request(
+            CompileRequest(chain=chain, overrides=overrides)
+        )
+        return response.kernel, SOURCE_COMPILED
