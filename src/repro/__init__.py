@@ -37,7 +37,7 @@ from repro.hardware import (
     list_devices,
     register_device,
 )
-from repro.ir import GemmChainSpec, get_workload, list_workloads
+from repro.ir import GemmChainSpec, OperatorGraph, get_workload, list_workloads
 from repro.search import ParallelSearchEngine, SearchEngine
 from repro.runtime import (
     BatchCompiler,
@@ -45,6 +45,15 @@ from repro.runtime import (
     PlanCache,
     ServingStats,
     warmup_workloads,
+)
+from repro.graphs import (
+    ChainMatch,
+    ExtractionResult,
+    ModelPlan,
+    ModelServer,
+    PlanSegment,
+    compile_graph,
+    extract_chains,
 )
 
 __all__ = [
@@ -63,8 +72,16 @@ __all__ = [
     "list_devices",
     "register_device",
     "GemmChainSpec",
+    "OperatorGraph",
     "get_workload",
     "list_workloads",
+    "ChainMatch",
+    "ExtractionResult",
+    "ModelPlan",
+    "ModelServer",
+    "PlanSegment",
+    "compile_graph",
+    "extract_chains",
     "ParallelSearchEngine",
     "SearchEngine",
     "BatchCompiler",
@@ -74,4 +91,4 @@ __all__ = [
     "warmup_workloads",
 ]
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"

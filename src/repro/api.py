@@ -35,6 +35,7 @@ from repro.codegen.cuda_emitter import emit_cuda
 from repro.codegen.kernel_ir import KernelIR, lower_plan
 from repro.codegen.plan import ExecutionPlan
 from repro.config import FuserConfig, warn_deprecated
+from repro.errors import FusionError
 from repro.hardware.spec import HardwareSpec
 from repro.ir.graph import GemmChainSpec
 from repro.ir.workloads import get_workload
@@ -517,10 +518,6 @@ class FlashFuser:
                     thread_name_prefix="flashfuser-submit",
                 )
             return self._pool
-
-
-class FusionError(RuntimeError):
-    """Raised when no feasible fused plan exists for a chain."""
 
 
 @dataclass

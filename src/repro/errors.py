@@ -1,0 +1,19 @@
+"""Shared exception types.
+
+:class:`FusionError` lives here (rather than in :mod:`repro.api`, which
+re-exports it) so the low-level layers — the operator-graph IR, the graph
+compiler — can raise it without importing the compiler facade they sit
+below.
+"""
+
+from __future__ import annotations
+
+
+class FusionError(RuntimeError):
+    """Raised when fusion cannot proceed.
+
+    Two situations produce it: the search finds no feasible fused plan for a
+    chain (its intermediate exceeds every on-chip placement), or a malformed
+    operator graph — a cycle, an inconsistent edge, a reference to an
+    undeclared input — reaches the graph compiler.
+    """

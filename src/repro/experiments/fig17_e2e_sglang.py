@@ -4,6 +4,13 @@ For the models behind the S1-S8 and G1-G10 workloads, the serving framework's
 FFN kernels are replaced with FlashFuser's fused kernels and the end-to-end
 latency compared; the paper reports an average improvement of ~1.32x for the
 subgraph-suite models and ~1.24x over all scenarios.
+
+The fused kernels come from the graph compiler: each model's FFN block is an
+operator graph whose chains are extracted and compiled by
+:func:`repro.graphs.compile_graph` (see
+:class:`~repro.models.inference.InferenceLatencyModel`), and every row
+reports how many chains were extracted and how the compile resolved
+(fresh search vs plan cache).
 """
 
 from __future__ import annotations
@@ -39,22 +46,27 @@ def run(
 ) -> List[Dict[str, object]]:
     """End-to-end speedup per workload/model pair."""
     device = device or h100_spec()
-    latency_model = InferenceLatencyModel(device=device)
     rows: List[Dict[str, object]] = []
-    for workload_id, model_name in workload_models:
-        result = latency_model.evaluate(
-            E2EConfig(model_name=model_name, seq_len=seq_len, batch=batch)
-        )
-        rows.append(
-            {
-                "workload": workload_id,
-                "model": model_name,
-                "baseline_ms": round(result.baseline_ms, 2),
-                "flashfuser_ms": round(result.flashfuser_ms, 2),
-                "ffn_fraction_percent": round(result.ffn_time_fraction * 100, 1),
-                "e2e_speedup": round(result.e2e_speedup, 3),
-            }
-        )
+    with InferenceLatencyModel(device=device) as latency_model:
+        for workload_id, model_name in workload_models:
+            result = latency_model.evaluate(
+                E2EConfig(model_name=model_name, seq_len=seq_len, batch=batch)
+            )
+            plan = result.ffn_plan
+            rows.append(
+                {
+                    "workload": workload_id,
+                    "model": model_name,
+                    "baseline_ms": round(result.baseline_ms, 2),
+                    "flashfuser_ms": round(result.flashfuser_ms, 2),
+                    "ffn_fraction_percent": round(result.ffn_time_fraction * 100, 1),
+                    "e2e_speedup": round(result.e2e_speedup, 3),
+                    "fused_chains": result.fused_chains,
+                    "ffn_compile": (
+                        "cache" if plan is not None and plan.cache_hits else "search"
+                    ),
+                }
+            )
     return rows
 
 

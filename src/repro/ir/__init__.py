@@ -18,6 +18,7 @@ from repro.ir.builders import (
     build_conv_chain,
     build_gated_ffn,
     build_standard_ffn,
+    build_transformer_layer,
     conv_chain_to_gemm_chain,
 )
 from repro.ir.ops import (
@@ -47,6 +48,7 @@ __all__ = [
     "build_conv_chain",
     "build_gated_ffn",
     "build_standard_ffn",
+    "build_transformer_layer",
     "conv_chain_to_gemm_chain",
     "Activation",
     "ActivationKind",

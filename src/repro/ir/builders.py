@@ -160,6 +160,83 @@ def build_conv_chain(
     return graph, spec
 
 
+def build_transformer_layer(
+    name: str,
+    m: int,
+    hidden: int,
+    intermediate: int,
+    ffn_kind: ChainKind = ChainKind.STANDARD_FFN,
+    dtype: DType = DType.FP16,
+) -> OperatorGraph:
+    """Build one decoder layer as an operator graph the graph compiler can eat.
+
+    The layer is: an attention output-projection GEMM standing in for the
+    attention block (the per-head score/context batched GEMMs live outside
+    the rank-2 GEMM IR), a residual add, the FFN chain (standard or gated,
+    per ``ffn_kind``), and the closing residual add.  Only the FFN chain is
+    fusible — the projection GEMM has no following activation and the
+    residual adds are memory-bound glue — so the extractor partitions this
+    graph into one fused region plus three residual operators, which is
+    exactly the fused/unfused split the end-to-end experiments charge.
+    """
+    x = TensorSpec(f"{name}.x", (m, hidden), dtype)
+    w_attn = TensorSpec(f"{name}.Wo", (hidden, hidden), dtype)
+
+    graph = OperatorGraph(name)
+    attn = graph.add(Gemm(f"{name}.attn_proj", lhs=x, rhs=w_attn))
+    res1 = graph.add(
+        Elementwise(f"{name}.residual1", ElementwiseKind.ADD, attn.output, x)
+    )
+    h = res1.output.with_shape((m, hidden))
+
+    if ffn_kind is ChainKind.GATED_FFN:
+        b0 = TensorSpec(f"{name}.ffn.B0", (hidden, intermediate), dtype)
+        b1 = TensorSpec(f"{name}.ffn.B1", (hidden, intermediate), dtype)
+        d = TensorSpec(f"{name}.ffn.D", (intermediate, hidden), dtype)
+        gate = graph.add(Gemm(f"{name}.ffn.gate", lhs=h, rhs=b0))
+        up = graph.add(Gemm(f"{name}.ffn.up", lhs=h, rhs=b1))
+        act = graph.add(
+            Activation(f"{name}.ffn.act", ActivationKind.SILU, gate.output)
+        )
+        mul = graph.add(
+            Elementwise(
+                f"{name}.ffn.mul",
+                ElementwiseKind.MUL,
+                act.output.with_shape((m, intermediate)),
+                up.output,
+            )
+        )
+        ffn_out = graph.add(
+            Gemm(f"{name}.ffn.down", lhs=mul.output.with_shape((m, intermediate)), rhs=d)
+        )
+    elif ffn_kind is ChainKind.STANDARD_FFN:
+        b = TensorSpec(f"{name}.ffn.B", (hidden, intermediate), dtype)
+        d = TensorSpec(f"{name}.ffn.D", (intermediate, hidden), dtype)
+        gemm0 = graph.add(Gemm(f"{name}.ffn.gemm0", lhs=h, rhs=b))
+        act = graph.add(
+            Activation(f"{name}.ffn.act", ActivationKind.RELU, gemm0.output)
+        )
+        ffn_out = graph.add(
+            Gemm(
+                f"{name}.ffn.gemm1",
+                lhs=act.output.with_shape((m, intermediate)),
+                rhs=d,
+            )
+        )
+    else:
+        raise ValueError(f"transformer layers have FFN chains, not {ffn_kind}")
+
+    graph.add(
+        Elementwise(
+            f"{name}.residual2",
+            ElementwiseKind.ADD,
+            ffn_out.output,
+            res1.output.with_shape((m, hidden)),
+        )
+    )
+    return graph
+
+
 def conv_chain_to_gemm_chain(
     name: str,
     batch: int,

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import networkx as nx
 
+from repro.errors import FusionError
 from repro.ir.ops import ActivationKind, Operator
 from repro.ir.tensor import DType, TensorSpec
 
@@ -232,13 +233,24 @@ class OperatorGraph:
 
     Edges are implied by tensor names: an operator that lists tensor ``t``
     among its inputs consumes the output of whichever operator produced
-    ``t``.  Graph inputs are tensors no operator produces.
+    ``t``.  Graph inputs are tensors no operator produces; passing
+    ``inputs=`` declares them explicitly, which lets :meth:`validate` reject
+    edges that reference tensors no operator produces and no input declares
+    (usually a typo in a tensor name).
     """
 
-    def __init__(self, name: str, operators: Optional[Sequence[Operator]] = None):
+    def __init__(
+        self,
+        name: str,
+        operators: Optional[Sequence[Operator]] = None,
+        inputs: Optional[Sequence[TensorSpec]] = None,
+    ):
         self.name = name
         self._operators: List[Operator] = []
         self._producers: Dict[str, Operator] = {}
+        self._declared_inputs: Optional[Dict[str, TensorSpec]] = (
+            {tensor.name: tensor for tensor in inputs} if inputs is not None else None
+        )
         for op in operators or []:
             self.add(op)
 
@@ -325,11 +337,70 @@ class OperatorGraph:
         return graph
 
     def topological_order(self) -> List[Operator]:
-        """Operators sorted topologically (raises on cycles)."""
+        """Operators sorted topologically (:class:`FusionError` on cycles)."""
         nx_graph = self.to_networkx()
-        order = list(nx.topological_sort(nx_graph))
+        try:
+            order = list(nx.topological_sort(nx_graph))
+        except nx.NetworkXUnfeasible as exc:
+            raise FusionError(self._cycle_message(nx_graph)) from exc
         by_name = {op.name: op for op in self._operators}
         return [by_name[name] for name in order]
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "OperatorGraph":
+        """Check structural well-formedness, raising :class:`FusionError`.
+
+        Three classes of malformed graph are rejected with a message naming
+        the offending operators, instead of surfacing later as an obscure
+        failure deep inside chain extraction or scheduling:
+
+        * **cycles** — operators whose tensors mutually depend on each other;
+        * **inconsistent edges** — a consumed tensor spec whose element count
+          or dtype disagrees with what its producer actually emits (pure
+          reshapes between producer and consumer are legal);
+        * **unknown producers** — when the graph declares its input tensors
+          (``inputs=``), a consumed tensor that is neither produced by any
+          operator nor declared as an input.
+
+        Returns the graph itself so validation chains into construction:
+        ``compile_graph(OperatorGraph(...).validate())``.
+        """
+        for op in self._operators:
+            for tensor in op.inputs:
+                producer = self._producers.get(tensor.name)
+                if producer is None:
+                    if (
+                        self._declared_inputs is not None
+                        and tensor.name not in self._declared_inputs
+                    ):
+                        raise FusionError(
+                            f"graph {self.name!r}: operator {op.name!r} consumes "
+                            f"tensor {tensor.name!r}, which no operator produces "
+                            "and the graph does not declare as an input"
+                        )
+                    continue
+                produced = producer.output
+                if (
+                    produced.num_elements != tensor.num_elements
+                    or produced.dtype is not tensor.dtype
+                ):
+                    raise FusionError(
+                        f"graph {self.name!r}: edge {producer.name!r} -> "
+                        f"{op.name!r} is inconsistent: produced "
+                        f"{produced.shape}/{produced.dtype.value} vs consumed "
+                        f"{tensor.shape}/{tensor.dtype.value}"
+                    )
+        nx_graph = self.to_networkx()
+        if not nx.is_directed_acyclic_graph(nx_graph):
+            raise FusionError(self._cycle_message(nx_graph))
+        return self
+
+    def _cycle_message(self, nx_graph: nx.DiGraph) -> str:
+        cycle = nx.find_cycle(nx_graph)
+        path = " -> ".join(edge[0] for edge in cycle) + f" -> {cycle[-1][1]}"
+        return f"graph {self.name!r} contains a cycle: {path}"
 
     def compute_intensive_operators(self) -> List[Operator]:
         """GEMM/conv operators, the fusion anchors."""

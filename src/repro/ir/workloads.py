@@ -14,7 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Union
 
-from repro.ir.builders import build_conv_chain, build_gated_ffn, build_standard_ffn
+from repro.ir.builders import (
+    build_conv_chain,
+    build_gated_ffn,
+    build_standard_ffn,
+    build_transformer_layer,
+)
 from repro.ir.graph import ChainKind, GemmChainSpec, OperatorGraph
 from repro.ir.ops import ActivationKind
 
@@ -226,6 +231,39 @@ class ModelConfig:
             activation=activation,
         )
         return spec
+
+    def ffn_graph(self, seq_len: int, batch: int = 1) -> OperatorGraph:
+        """The FFN block of one layer as an operator graph.
+
+        The graph compiler's chain extractor recovers exactly
+        :meth:`ffn_chain` from this graph (same canonical identity, hence the
+        same plan-cache key), which is how the end-to-end models route their
+        FFN component through :func:`repro.graphs.compile_graph` instead of
+        hand-wiring the chain spec.
+        """
+        m = seq_len * batch
+        gated = self.ffn_kind is ChainKind.GATED_FFN
+        builder = build_gated_ffn if gated else build_standard_ffn
+        activation = ActivationKind.SILU if gated else ActivationKind.RELU
+        graph, _ = builder(
+            f"{self.name}.ffn",
+            m=m,
+            n=self.intermediate,
+            k=self.hidden,
+            l=self.hidden,
+            activation=activation,
+        )
+        return graph
+
+    def layer_graph(self, seq_len: int, batch: int = 1) -> OperatorGraph:
+        """One full decoder layer (attention projection, residuals, FFN)."""
+        return build_transformer_layer(
+            f"{self.name}.layer",
+            m=seq_len * batch,
+            hidden=self.hidden,
+            intermediate=self.intermediate,
+            ffn_kind=self.ffn_kind,
+        )
 
 
 MODEL_ZOO: Dict[str, ModelConfig] = {

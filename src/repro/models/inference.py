@@ -6,6 +6,13 @@ with FlashFuser's fused FFN kernels dropped in.  Everything outside the FFN
 (attention, norms, residuals, scheduler overhead) is identical between the
 two, which is why the end-to-end speedup is an Amdahl's-law combination of
 the FFN time share and the FFN kernel speedup.
+
+The fused side is produced by the **graph compiler**: each model's FFN block
+is materialised as an operator graph, chains are extracted automatically and
+compiled through the plan-cache-backed :class:`~repro.api.FlashFuser` stack
+(:func:`repro.graphs.compile_graph`), and the resulting
+:class:`~repro.graphs.plan.ModelPlan` supplies the fused FFN time — the
+end-to-end numbers rest on the compiler, not on hand-wired chain specs.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.api import FlashFuser
+from repro.graphs.plan import ModelPlan, compile_graph
 from repro.hardware.spec import HardwareSpec, h100_spec
 from repro.ir.workloads import ModelConfig, get_model
 from repro.models.transformer import TransformerTimingModel
@@ -42,11 +50,19 @@ class InferenceResult:
     flashfuser_ms: float
     ffn_kernel_speedup: float
     ffn_time_fraction: float
+    #: The graph-compiler plan behind the fused FFN time (``None`` only for
+    #: results deserialized from older records).
+    ffn_plan: Optional[ModelPlan] = None
 
     @property
     def e2e_speedup(self) -> float:
         """End-to-end speedup from swapping in the fused FFN kernels."""
         return self.baseline_ms / self.flashfuser_ms if self.flashfuser_ms > 0 else 0.0
+
+    @property
+    def fused_chains(self) -> int:
+        """Chains the graph compiler extracted and fused for the FFN block."""
+        return len(self.ffn_plan.fused_segments) if self.ffn_plan is not None else 0
 
 
 class InferenceLatencyModel:
@@ -69,8 +85,26 @@ class InferenceLatencyModel:
     ) -> None:
         self.device = device or h100_spec()
         self.framework_overhead_fraction = framework_overhead_fraction
+        self._owns_compiler = compiler is None
         self.compiler = compiler or FlashFuser(device=self.device)
-        self._ffn_cache: Dict[str, float] = {}
+        self._plan_cache: Dict[str, ModelPlan] = {}
+
+    def close(self) -> None:
+        """Release the internally owned compiler's worker pools (idempotent).
+
+        Graph compilation submits chains through the compiler's thread pool,
+        so long-lived processes creating many latency models should close
+        them (or use them as context managers).  A caller-provided compiler
+        is left untouched.
+        """
+        if self._owns_compiler:
+            self.compiler.close()
+
+    def __enter__(self) -> "InferenceLatencyModel":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Main entry point
@@ -78,10 +112,13 @@ class InferenceLatencyModel:
     def evaluate(self, config: E2EConfig) -> InferenceResult:
         """Latency of one model/sequence/batch point under both systems."""
         model = get_model(config.model_name)
-        timing = TransformerTimingModel(model, device=self.device)
+        timing = TransformerTimingModel(
+            model, device=self.device, compiler=self.compiler
+        )
 
         baseline_layer = timing.layer_breakdown(config.seq_len, config.batch)
-        fused_ffn_us = self._fused_ffn_time_us(model, config)
+        plan = self._ffn_plan(model, timing, config)
+        fused_ffn_us = plan.time_us
         flashfuser_layer = timing.layer_breakdown(
             config.seq_len, config.batch, ffn_time_us=fused_ffn_us
         )
@@ -99,24 +136,29 @@ class InferenceLatencyModel:
             flashfuser_ms=flashfuser_ms,
             ffn_kernel_speedup=ffn_speedup,
             ffn_time_fraction=baseline_layer.ffn_fraction,
+            ffn_plan=plan,
         )
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _fused_ffn_time_us(self, model: ModelConfig, config: E2EConfig) -> float:
-        """Simulated time of the FlashFuser-compiled FFN chain (cached)."""
-        chain = model.ffn_chain(config.seq_len, config.batch)
-        key = f"{model.name}:{chain.m}"
-        if key not in self._ffn_cache:
-            try:
-                compiled = self.compiler.compile(chain)
-                self._ffn_cache[key] = compiled.time_us
-            except Exception:
-                # If no fused plan exists (it always should), fall back to
-                # the unfused FFN time so the comparison degrades gracefully.
-                timing = TransformerTimingModel(model, device=self.device)
-                self._ffn_cache[key] = timing.simulator.simulate_kernels(
-                    timing.ffn_kernels(config.seq_len, config.batch)
-                ).time_us
-        return self._ffn_cache[key]
+    def _ffn_plan(
+        self, model: ModelConfig, timing: TransformerTimingModel, config: E2EConfig
+    ) -> ModelPlan:
+        """Graph-compiler plan for the model's FFN block (memoized on M).
+
+        The FFN operator graph goes through chain extraction and the shared
+        compiler, so repeated evaluations of the same (model, M) point reuse
+        the in-process memo and differently named but identically shaped
+        chains hit the plan cache.  A chain the search cannot fuse degrades
+        inside the plan to its unfused kernel sequence, preserving the old
+        graceful-fallback behaviour.
+        """
+        key = f"{model.name}:{config.tokens}"
+        if key not in self._plan_cache:
+            self._plan_cache[key] = compile_graph(
+                model.ffn_graph(config.seq_len, config.batch),
+                compiler=self.compiler,
+                simulator=timing.simulator,
+            )
+        return self._plan_cache[key]

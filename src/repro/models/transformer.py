@@ -6,16 +6,25 @@ the FFN GEMM chain, and the surrounding memory-bound operators (layer norms,
 residual adds, softmax).  Each kernel is charged on the performance
 simulator, which yields the per-component time breakdown behind Table I
 (FFN share of execution time) and the end-to-end models of Figures 16-17.
+
+The *fused* FFN component is produced by the graph compiler: the model's FFN
+block is materialised as an operator graph and routed through
+:func:`repro.graphs.compile_graph`, so the end-to-end numbers rest on
+automatic chain extraction rather than a hand-wired chain spec.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.hardware.spec import HardwareSpec, h100_spec
 from repro.ir.workloads import ModelConfig
 from repro.sim.engine import KernelLaunch, PerformanceSimulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.api import FlashFuser
+    from repro.graphs.plan import ModelPlan
 
 
 @dataclass
@@ -50,6 +59,10 @@ class TransformerTimingModel:
         Simulator charged for every kernel; defaults to library-grade
         (PyTorch-like) kernel efficiency, since Table I profiles standard
         framework execution.
+    compiler:
+        The :class:`~repro.api.FlashFuser` behind :meth:`ffn_plan`'s fused
+        FFN compilation.  Lazily constructed for this model's device when
+        first needed.
     """
 
     def __init__(
@@ -57,16 +70,13 @@ class TransformerTimingModel:
         model: ModelConfig,
         device: Optional[HardwareSpec] = None,
         simulator: Optional[PerformanceSimulator] = None,
+        compiler: Optional["FlashFuser"] = None,
     ) -> None:
         self.model = model
         self.device = device or h100_spec()
-        self.simulator = simulator or PerformanceSimulator(
-            self.device,
-            compute_efficiency=0.45,
-            overlap=0.5,
-            launch_overhead_us=8.0,
-            memory_efficiency=0.65,
-        )
+        self.simulator = simulator or PerformanceSimulator.library_grade(self.device)
+        self._compiler = compiler
+        self._owns_compiler = False
 
     # ------------------------------------------------------------------ #
     # Kernel decompositions
@@ -97,6 +107,50 @@ class TransformerTimingModel:
 
         chain = self.model.ffn_chain(seq_len, batch)
         return unfused_launches(chain)
+
+    # ------------------------------------------------------------------ #
+    # Graph-compiled FFN
+    # ------------------------------------------------------------------ #
+    @property
+    def compiler(self) -> "FlashFuser":
+        """The compiler behind :meth:`ffn_plan` (lazily constructed)."""
+        if self._compiler is None:
+            from repro.api import FlashFuser
+
+            self._compiler = FlashFuser(device=self.device)
+            self._owns_compiler = True
+        return self._compiler
+
+    def close(self) -> None:
+        """Release a lazily constructed compiler's worker pools (idempotent).
+
+        A compiler passed in by the caller is left untouched.
+        """
+        if self._owns_compiler and self._compiler is not None:
+            self._compiler.close()
+
+    def __enter__(self) -> "TransformerTimingModel":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def ffn_plan(self, seq_len: int, batch: int = 1) -> "ModelPlan":
+        """The FFN block compiled end to end by the graph compiler.
+
+        The model's FFN operator graph goes through chain extraction and the
+        full compile stack (plan cache included); residual operators — none,
+        for a pure FFN graph — are charged on this timing model's simulator.
+        The plan's time is what :meth:`layer_breakdown` substitutes for the
+        FFN component on the FlashFuser side of the end-to-end comparison.
+        """
+        from repro.graphs.plan import compile_graph
+
+        return compile_graph(
+            self.model.ffn_graph(seq_len, batch),
+            compiler=self.compiler,
+            simulator=self.simulator,
+        )
 
     def other_kernels(self, seq_len: int, batch: int = 1) -> List[KernelLaunch]:
         """Memory-bound glue: two layer norms and two residual adds."""

@@ -197,7 +197,8 @@ class PlanCache:
     ----------
     directory:
         Disk-store location.  ``None`` keeps the cache memory-only; the
-        directory is created on first write otherwise.
+        directory (with a leading ``~`` expanded) is created on first
+        write otherwise.
     max_memory_entries:
         LRU capacity of the in-process tier.  Evicted entries remain
         loadable from disk when a directory is configured.
@@ -214,7 +215,9 @@ class PlanCache:
     ) -> None:
         if max_memory_entries < 1:
             raise ValueError("max_memory_entries must be >= 1")
-        self.directory = Path(directory) if directory is not None else None
+        self.directory = (
+            Path(directory).expanduser() if directory is not None else None
+        )
         if self.directory is not None and self.directory.exists() and not self.directory.is_dir():
             raise ValueError(f"cache directory {self.directory} is not a directory")
         self.max_memory_entries = max_memory_entries

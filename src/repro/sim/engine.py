@@ -142,6 +142,23 @@ class PerformanceSimulator:
         self.launch_overhead_us = launch_overhead_us
         self.memory_efficiency = memory_efficiency
 
+    @classmethod
+    def library_grade(cls, device: HardwareSpec) -> "PerformanceSimulator":
+        """A simulator calibrated to library (PyTorch-like) kernel quality.
+
+        This is the efficiency point Table I profiles standard framework
+        execution at; the transformer timing model and the graph compiler's
+        residual (unfused) operators are both charged here, while fused
+        FlashFuser kernels use the specialised-kernel defaults.
+        """
+        return cls(
+            device,
+            compute_efficiency=0.45,
+            overlap=0.5,
+            launch_overhead_us=8.0,
+            memory_efficiency=0.65,
+        )
+
     # ------------------------------------------------------------------ #
     # Fused plans
     # ------------------------------------------------------------------ #

@@ -507,8 +507,16 @@ EXPECTED_EXPORTS = frozenset(
         "list_devices",
         "register_device",
         "GemmChainSpec",
+        "OperatorGraph",
         "get_workload",
         "list_workloads",
+        "ChainMatch",
+        "ExtractionResult",
+        "ModelPlan",
+        "ModelServer",
+        "PlanSegment",
+        "compile_graph",
+        "extract_chains",
         "ParallelSearchEngine",
         "SearchEngine",
         "BatchCompiler",

@@ -465,3 +465,14 @@ class TestMaxCandidatesEarlyStop:
         # Before the fix the engine drained the whole pruned stream; now it
         # must stop enumerating well short of the full space.
         assert result.candidates_enumerated < space.size_estimate(chain) // 2
+
+
+class TestPlanCacheDirectory:
+    def test_tilde_directory_is_expanded(self):
+        from pathlib import Path
+
+        from repro.runtime import PlanCache
+
+        cache = PlanCache(directory="~/flashfuser-test-cache")
+        assert cache.directory == Path.home() / "flashfuser-test-cache"
+        assert "~" not in str(cache.directory)
