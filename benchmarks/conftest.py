@@ -8,6 +8,9 @@ representative subsets (pass ``--benchmark-full-suites`` for the full sets).
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.common import CompilerCache
@@ -32,6 +35,22 @@ def full_suites(request) -> bool:
 def compiler_cache() -> CompilerCache:
     """Session-wide compiler cache shared by all benchmarks."""
     return CompilerCache()
+
+
+@pytest.fixture(scope="session")
+def bench_report_dir(tmp_path_factory) -> Path:
+    """Where serving benchmarks persist their PerfReport JSON artifacts.
+
+    ``BENCH_REPORT_DIR`` (set by the CI benchmarks job, which uploads the
+    directory) pins the location; locally the reports land in a session
+    tmp dir so the working tree stays clean.
+    """
+    configured = os.environ.get("BENCH_REPORT_DIR")
+    if configured:
+        path = Path(configured)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    return tmp_path_factory.mktemp("bench-reports")
 
 
 @pytest.fixture(scope="session")

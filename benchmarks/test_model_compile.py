@@ -6,8 +6,10 @@ plan assembly) is microseconds.  Compiling the same model twice must
 therefore be dominated by plan-cache hits: this benchmark compiles a
 transformer layer cold, recompiles it warm through the same cache, and
 recompiles it from a fresh compiler pointed at the same disk store (a
-simulated process restart), asserting the warm paths are at least 5x faster
-while producing the identical plan.
+simulated process restart), asserting — through the standard
+:class:`~repro.bench.report.PerfReport` schema, persisted so the perf
+trajectory accumulates — that the warm paths are at least 5x faster while
+producing the identical plan.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from __future__ import annotations
 import time
 
 from repro.api import FlashFuser
+from repro.bench import PerfReport, RequestRecord
 from repro.graphs import compile_graph
 from repro.ir.workloads import get_model
 from repro.runtime import PlanCache
@@ -26,7 +29,23 @@ def _timed(fn):
     return result, time.perf_counter() - start
 
 
-def test_warm_model_compile_5x_faster_than_cold(tmp_path_factory):
+def _record(index, phase, wall_s, source):
+    return RequestRecord(
+        index=index,
+        phase=phase,
+        kind="model",
+        target="BERT",
+        m=128,
+        arrival_s=0.0,
+        queue_depth=0,
+        wall_us=wall_s * 1e6,
+        source=source,
+    )
+
+
+def test_warm_model_compile_5x_faster_than_cold(
+    tmp_path_factory, bench_report_dir
+):
     cache_dir = tmp_path_factory.mktemp("model-plan-cache")
     graph = get_model("BERT").layer_graph(seq_len=128)
 
@@ -39,7 +58,6 @@ def test_warm_model_compile_5x_faster_than_cold(tmp_path_factory):
     assert cold_plan.cache_hits == 0
     assert warm_plan.cache_hits == len(warm_plan.fused_segments) == 1
     assert warm_plan.time_us == cold_plan.time_us
-    assert cold_s >= 5.0 * warm_s
 
     # Disk tier: a fresh compiler over the same directory starts warm too.
     with FlashFuser(
@@ -48,4 +66,19 @@ def test_warm_model_compile_5x_faster_than_cold(tmp_path_factory):
         disk_plan, disk_s = _timed(lambda: compile_graph(graph, compiler=restarted))
     assert disk_plan.cache_hits == 1
     assert disk_plan.time_us == cold_plan.time_us
-    assert cold_s >= 5.0 * disk_s
+
+    # The timing claims live in the report, asserted from the report — the
+    # same artifact CI uploads into the perf trajectory.
+    report = PerfReport.from_records(
+        [
+            _record(0, "cold", cold_s, "compiled"),
+            _record(1, "warm", warm_s, "cache:memory"),
+            _record(2, "disk", disk_s, "cache:disk"),
+        ],
+        name="model-compile-cache",
+    )
+    assert report.phase_speedup("cold", "warm") >= 5.0
+    assert report.phase_speedup("cold", "disk") >= 5.0
+    assert report.to_dict()["split"]["compile_fraction"] > 0.5
+    path = report.save(bench_report_dir / "BENCH_model_compile.json")
+    assert PerfReport.load(path) == report

@@ -2,10 +2,13 @@
 
 The runtime subsystem's whole premise is that the fusion search (Table
 VIII's dominant cost) is paid once and amortized across requests, processes
-and workloads.  This benchmark measures all three resolution paths on the
-same chain — cold search, warm in-process hit, warm disk hit from a fresh
-cache (a simulated process restart) — and asserts the cache-served paths are
-at least an order of magnitude faster while returning the identical plan.
+and workloads.  These benchmarks measure the resolution paths on the same
+chain — cold search, warm in-process hit, warm disk hit from a fresh cache
+(a simulated process restart), and table-served dynamic-shape traffic —
+assert the cache-served paths are at least an order of magnitude faster
+while returning the identical plan, and persist every measurement as a
+:class:`~repro.bench.report.PerfReport` so the perf trajectory accumulates
+as stable, diffable JSON artifacts.
 """
 
 from __future__ import annotations
@@ -13,6 +16,13 @@ from __future__ import annotations
 import time
 
 from repro.api import FlashFuser
+from repro.bench import (
+    LoadDriver,
+    PerfReport,
+    RequestRecord,
+    cold_warm_trace,
+    poisson_trace,
+)
 from repro.ir.builders import build_standard_ffn
 from repro.runtime import KernelServer, PlanCache
 
@@ -23,7 +33,23 @@ def _timed(fn):
     return result, time.perf_counter() - start
 
 
-def test_warm_lookup_10x_faster_than_cold_compile(tmp_path_factory):
+def _record(index, phase, wall_s, source, target):
+    return RequestRecord(
+        index=index,
+        phase=phase,
+        kind="kernel",
+        target=target,
+        m=128,
+        arrival_s=0.0,
+        queue_depth=0,
+        wall_us=wall_s * 1e6,
+        source=source,
+    )
+
+
+def test_warm_lookup_10x_faster_than_cold_compile(
+    tmp_path_factory, bench_report_dir
+):
     cache_dir = tmp_path_factory.mktemp("plan-cache")
     _, chain = build_standard_ffn("bench-cache", m=128, n=2048, k=512, l=512)
 
@@ -31,10 +57,8 @@ def test_warm_lookup_10x_faster_than_cold_compile(tmp_path_factory):
     cold_kernel, cold_s = _timed(lambda: compiler.compile(chain))
     warm_kernel, warm_s = _timed(lambda: compiler.compile(chain))
 
-    # Warm in-process path: identical plan, >= 10x faster (acceptance bar;
-    # in practice the memoized hit is several thousand times faster).
+    # Warm in-process path: identical plan.
     assert warm_kernel.plan.summary() == cold_kernel.plan.summary()
-    assert cold_s >= 10.0 * warm_s
 
     # Disk tier: a fresh cache instance simulates a process restart.
     restarted = FlashFuser(top_k=5, max_tile=128, cache=PlanCache(directory=cache_dir))
@@ -42,24 +66,54 @@ def test_warm_lookup_10x_faster_than_cold_compile(tmp_path_factory):
     assert disk_kernel.from_cache
     assert disk_kernel.plan.summary() == cold_kernel.plan.summary()
     assert disk_kernel.source == cold_kernel.source
-    assert cold_s >= 10.0 * disk_s
+
+    # Aggregate the three paths into the standard report schema and assert
+    # the speedups *from the report* — the same numbers the artifact records.
+    report = PerfReport.from_records(
+        [
+            _record(0, "cold", cold_s, "compiled", chain.name),
+            _record(1, "warm", warm_s, "cache:memory", chain.name),
+            _record(2, "disk", disk_s, "cache:disk", chain.name),
+        ],
+        name="runtime-cache-tiers",
+    )
+    assert report.hit_rate == 2.0 / 3.0
+    # Acceptance bar >= 10x; in practice the cached paths are three to four
+    # orders of magnitude faster than the search.
+    assert report.phase_speedup("cold", "warm") >= 10.0
+    assert report.phase_speedup("cold", "disk") >= 10.0
+    path = report.save(bench_report_dir / "BENCH_runtime_cache_tiers.json")
+    assert PerfReport.load(path) == report
 
 
-def test_served_requests_amortize_the_search(tmp_path_factory):
+def test_served_requests_amortize_the_search(tmp_path_factory, bench_report_dir):
     cache_dir = tmp_path_factory.mktemp("serving-cache")
+    base = poisson_trace(
+        ["G4"], num_requests=5, m_choices=(70, 96, 100, 128), seed=11
+    )
+    trace = cold_warm_trace(base, m_bins=(64, 128))
     server = KernelServer(
         compiler=FlashFuser(top_k=5, max_tile=128, cache=PlanCache(directory=cache_dir)),
         m_bins=(64, 128),
     )
+    with server:
+        with LoadDriver(server) as driver:
+            result = driver.replay(trace)
 
-    _, cold_s = _timed(lambda: server.request("G4", 100))
-    warm_latencies = []
-    for m in (96, 100, 128, 70, 128):
-        response, elapsed = _timed(lambda m=m: server.request("G4", m))
-        assert response.source == "table"
-        warm_latencies.append(elapsed)
+    report = result.report(name="runtime-cache-serving")
+    # Every warm request resolves from the kernel table, >= 10x faster at
+    # the median than the cold coverage phase that paid the searches.
+    warm = report.phase("warm")
+    assert warm["hit_rate"] == 1.0
+    assert warm["by_source"] == {"table": len(base)}
+    assert report.phase_speedup() >= 10.0
+    assert report.errors == 0
 
-    assert cold_s >= 10.0 * max(warm_latencies)
+    # The server's own metrics agree with the driver's provenance records.
     snapshot = server.snapshot()
-    assert snapshot["serving"]["misses"] == 1
-    assert snapshot["serving"]["hit_rate"] >= 5.0 / 6.0
+    cold_requests = report.phase("cold")["requests"]
+    assert snapshot["serving"]["misses"] == cold_requests
+    assert snapshot["serving"]["hit_rate"] == report.hit_rate
+
+    path = report.save(bench_report_dir / "BENCH_runtime_cache_serving.json")
+    assert PerfReport.load(path) == report

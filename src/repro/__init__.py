@@ -55,6 +55,12 @@ from repro.graphs import (
     compile_graph,
     extract_chains,
 )
+from repro.bench import (
+    BenchConfig,
+    LoadDriver,
+    PerfReport,
+    Trace,
+)
 
 __all__ = [
     "CompiledKernel",
@@ -89,6 +95,10 @@ __all__ = [
     "PlanCache",
     "ServingStats",
     "warmup_workloads",
+    "BenchConfig",
+    "LoadDriver",
+    "PerfReport",
+    "Trace",
 ]
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"

@@ -51,7 +51,25 @@ _DEFAULT_DEVICE_KEY = "<configured-device>"
 
 @dataclass
 class CompiledKernel:
-    """The result of compiling one chain."""
+    """The result of compiling one chain.
+
+    Bundles everything the compiler produced for one
+    :class:`~repro.ir.graph.GemmChainSpec`: the selected execution plan, the
+    lowered kernel IR and CUDA-like source, the simulated performance
+    report, the search result (or its persisted summary when the kernel was
+    rehydrated from the plan cache), and the global-memory traffic profile.
+
+    Example
+    -------
+    ::
+
+        from repro import FlashFuser
+
+        with FlashFuser(top_k=5, max_tile=128) as compiler:
+            kernel = compiler.compile_workload("G4")
+        print(kernel.time_us, kernel.tflops, kernel.from_cache)
+        print(kernel.summary())
+    """
 
     plan: ExecutionPlan
     kernel_ir: KernelIR
@@ -102,6 +120,16 @@ class CompileRequest:
     applied on top of the serving compiler's config — e.g.
     ``{"parallelism": 8}`` to fan one cold search across processes without
     touching the shared configuration.
+
+    Example
+    -------
+    >>> request = CompileRequest(workload="G4", m=256)
+    >>> request.resolve_chain().m
+    256
+    >>> CompileRequest(workload="G4", chain=request.resolve_chain())
+    Traceback (most recent call last):
+        ...
+    ValueError: exactly one of chain= and workload= must be provided
     """
 
     chain: Optional[GemmChainSpec] = None
@@ -133,7 +161,24 @@ class CompileRequest:
 
 @dataclass
 class CompileResponse:
-    """A compiled kernel plus the provenance of how it was produced."""
+    """A compiled kernel plus the provenance of how it was produced.
+
+    Returned by :meth:`FlashFuser.compile_request` and resolved from the
+    futures of :meth:`FlashFuser.submit`: the kernel itself, the request it
+    answers, the effective configuration after per-request overrides, and
+    the cache provenance (hit/miss, the key consulted, wall-clock time).
+
+    Example
+    -------
+    ::
+
+        from repro import CompileRequest, FlashFuser
+
+        with FlashFuser(top_k=5, max_tile=128) as compiler:
+            response = compiler.compile_request(CompileRequest(workload="G1"))
+        print(response.cache_hit, response.elapsed_s)
+        print(response.provenance())
+    """
 
     kernel: CompiledKernel
     request: CompileRequest
@@ -172,6 +217,18 @@ class FlashFuser:
 
     Call :meth:`close` (or use the compiler as a context manager) to release
     worker pools held by parallel search engines and :meth:`submit`.
+
+    Example
+    -------
+    ::
+
+        from repro import FlashFuser, FuserConfig
+
+        config = FuserConfig(device="h100", top_k=11, cache="~/.cache/ff")
+        with FlashFuser(config) as compiler:
+            kernel = compiler.compile_workload("G5")      # full fusion search
+            again = compiler.compile_workload("G5")       # plan-cache hit
+        assert again.from_cache
     """
 
     def __init__(
@@ -522,7 +579,25 @@ class FlashFuser:
 
 @dataclass
 class KernelTable:
-    """Pre-compiled kernels binned by M for runtime lookup (Section IV-C3)."""
+    """Pre-compiled kernels binned by M for runtime lookup (Section IV-C3).
+
+    N, K and L are fixed by the model, so only the token/batch dimension M
+    varies at runtime: kernels are compiled offline for a set of M bins
+    (:meth:`FlashFuser.compile_table` or the batch compiler) and selected
+    per request with :meth:`lookup` — the smallest bin covering the runtime
+    M, falling back to the largest bin (run over multiple waves) above it.
+
+    Example
+    -------
+    >>> from repro.ir.workloads import get_chain_spec
+    >>> table = KernelTable(chain=get_chain_spec("G1"))
+    >>> table.bins()            # empty until bins are compiled into it
+    []
+    >>> table.bin_for(0)
+    Traceback (most recent call last):
+        ...
+    ValueError: m must be positive
+    """
 
     chain: GemmChainSpec
     kernels: Dict[int, CompiledKernel] = field(default_factory=dict)
@@ -557,9 +632,22 @@ def compile_chain(
 ) -> CompiledKernel:
     """One-shot convenience wrapper around :class:`FlashFuser`.
 
-    The throwaway compiler is used as a context manager so any worker pools
-    it spins up (a parallel search engine, the submit pool) are released
-    even when compilation raises.
+    Builds a throwaway compiler from ``config`` plus ``overrides``, compiles
+    ``chain``, and returns the :class:`CompiledKernel`.  The compiler is
+    used as a context manager so any worker pools it spins up (a parallel
+    search engine, the submit pool) are released even when compilation
+    raises.  For more than one compile, construct a :class:`FlashFuser`
+    once and reuse it — engines and caches are memoized per instance.
+
+    Example
+    -------
+    ::
+
+        from repro import compile_chain
+        from repro.ir.workloads import get_chain_spec
+
+        kernel = compile_chain(get_chain_spec("G1"), top_k=5, max_tile=128)
+        print(kernel.time_us)
     """
     with FlashFuser(config, **overrides) as compiler:
         return compiler.compile(chain)

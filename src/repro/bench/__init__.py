@@ -1,0 +1,65 @@
+"""Trace-driven serving benchmarks: load generation, replay, perf reports.
+
+The bench subsystem closes the loop the ROADMAP's serving story needs: it
+drives the runtime stack (:class:`~repro.runtime.server.KernelServer`,
+:class:`~repro.graphs.server.ModelServer`) under reproducible synthetic
+load and condenses what happened into a stable, diffable
+:class:`PerfReport` artifact.
+
+* :mod:`repro.bench.traces` — seeded trace generators (Poisson, bursty,
+  LLM prefill/decode mixes, conv sweeps) plus JSON (de)serialization.
+* :mod:`repro.bench.driver` — :class:`LoadDriver`, which replays a trace
+  through the real request path with configurable concurrency and records
+  per-request wall clock, cache provenance and queue depth.
+* :mod:`repro.bench.report` — :class:`PerfReport` aggregation (throughput,
+  latency percentiles, hit rates, compile-vs-serve split, per-phase
+  blocks) and :func:`compare` for regression gating.
+* :mod:`repro.bench.config` — :class:`BenchConfig`, the one frozen value
+  describing a whole benchmark run.
+
+``python -m repro.bench`` runs a configured scenario end to end and writes
+the report JSON (see :mod:`repro.bench.__main__`)::
+
+    python -m repro.bench --scenario llm --requests 24 --output BENCH_bench.json
+"""
+
+from repro.bench.config import SCENARIOS, BenchConfig
+from repro.bench.driver import LoadDriver, ReplayResult, RequestRecord
+from repro.bench.report import (
+    PerfReport,
+    ReportDelta,
+    compare,
+    percentile,
+)
+from repro.bench.traces import (
+    Trace,
+    TraceRequest,
+    bursty_trace,
+    cold_warm_trace,
+    conv_sweep_trace,
+    llm_serving_trace,
+    poisson_trace,
+    repeat_phases,
+    scenario_trace,
+)
+
+__all__ = [
+    "BenchConfig",
+    "LoadDriver",
+    "PerfReport",
+    "ReplayResult",
+    "ReportDelta",
+    "RequestRecord",
+    "SCENARIOS",
+    "Trace",
+    "TraceRequest",
+    "bursty_trace",
+    "cold_warm_trace",
+    "compare",
+    "conv_sweep_trace",
+    "llm_serving_trace",
+    "percentile",
+    "poisson_trace",
+    "repeat_phases",
+    "scenario_trace",
+]

@@ -1,0 +1,154 @@
+"""``python -m repro.bench`` — run one serving benchmark end to end.
+
+Builds the scenario trace a :class:`~repro.bench.config.BenchConfig`
+describes, replays it against a fresh :class:`~repro.graphs.server.ModelServer`
+stack, writes the :class:`~repro.bench.report.PerfReport` JSON, and prints a
+short summary.  With ``--baseline`` the fresh report is additionally diffed
+against a stored one and deterministic regressions (hit rate, errors) fail
+the run — the CI benchmarks job uses exactly this entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.config import SCENARIOS, BenchConfig
+from repro.bench.driver import LoadDriver
+from repro.bench.report import PerfReport, compare
+from repro.bench.traces import scenario_trace
+from repro.config import FuserConfig
+from repro.graphs.server import ModelServer
+
+#: Default report artifact name (the repo's perf trajectory convention).
+DEFAULT_OUTPUT = "BENCH_bench.json"
+
+
+def run(config: BenchConfig, *, name: str = "bench") -> PerfReport:
+    """Replay ``config``'s scenario against a fresh serving stack.
+
+    The stack is built from the config's compiler knobs; without a
+    configured cache directory the replay starts genuinely cold, so the
+    report's ``cold`` phase prices the fusion search and the ``warm`` phase
+    prices steady-state serving.
+    """
+    trace = scenario_trace(config)
+    with ModelServer(
+        config=config.fuser_config(), m_bins=config.m_bins
+    ) as server:
+        with LoadDriver(
+            server, concurrency=config.concurrency, time_scale=config.time_scale
+        ) as driver:
+            result = driver.replay(trace)
+    return result.report(name=name, config=config.to_dict())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Replay a seeded serving trace and write a PerfReport JSON.",
+    )
+    defaults = BenchConfig()
+    parser.add_argument("--scenario", choices=SCENARIOS, default=defaults.scenario)
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=defaults.num_requests,
+        help="requests in the measured (warm) load; the cold phase adds one "
+        "coverage request per distinct kernel, not another batch of these",
+    )
+    parser.add_argument("--concurrency", type=int, default=defaults.concurrency)
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=defaults.time_scale,
+        help="multiplier on trace arrival gaps (0 = as fast as possible)",
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=list(defaults.models),
+        help="model-zoo names for the llm scenarios",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(defaults.workloads),
+        help="workload ids for the kernels scenario",
+    )
+    parser.add_argument(
+        "--m-bins", nargs="+", type=int, default=list(defaults.m_bins)
+    )
+    parser.add_argument("--device", default=defaults.device)
+    parser.add_argument("--top-k", type=int, default=defaults.top_k)
+    parser.add_argument("--max-tile", type=int, default=defaults.max_tile)
+    parser.add_argument(
+        "--cache",
+        default=None,
+        help="plan-cache directory (omit for a genuinely cold cold-phase)",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help=f"report JSON path (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="stored PerfReport JSON to diff against; deterministic "
+        "regressions (hit rate, errors) fail the run",
+    )
+    parser.add_argument(
+        "--max-p50-ratio",
+        type=float,
+        default=None,
+        help="optional timing gate for --baseline: fail when the new p50 "
+        "exceeds baseline p50 by this factor",
+    )
+    args = parser.parse_args(argv)
+
+    config = BenchConfig(
+        scenario=args.scenario,
+        seed=args.seed,
+        num_requests=args.requests,
+        concurrency=args.concurrency,
+        time_scale=args.time_scale,
+        models=tuple(args.models),
+        workloads=tuple(args.workloads),
+        m_bins=tuple(args.m_bins),
+        device=args.device,
+        top_k=args.top_k,
+        max_tile=args.max_tile,
+        cache=args.cache,
+    )
+    # Fail early on an unknown device instead of mid-replay.
+    FuserConfig(device=config.device).resolve_device()
+
+    report = run(config)
+    path = report.save(args.output)
+    for line in report.summary_lines():
+        print(line)
+    print(f"wrote {path}")
+
+    if args.baseline is not None:
+        baseline = PerfReport.load(args.baseline)
+        delta = compare(baseline, report)
+        print(
+            f"vs baseline {baseline.name}: "
+            f"p50 ratio {delta.p50_ratio and round(delta.p50_ratio, 2)}, "
+            f"hit-rate delta {delta.hit_rate_delta:+.1%}, "
+            f"errors {delta.error_delta:+d}"
+        )
+        problems = delta.regressions(max_p50_ratio=args.max_p50_ratio)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Benchmark-run configuration.
+
+:class:`BenchConfig` mirrors the :class:`~repro.config.FuserConfig`
+conventions — one frozen value object carrying every knob of a benchmark
+run, with ``replace()`` derivation and a ``to_dict()``/``from_dict()``
+round-trip — so a serving benchmark is described by a single serializable
+value: the scenario to generate, the load parameters, the driver settings,
+and the compiler knobs of the serving stack under test.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace as _dataclass_replace
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.config import FuserConfig
+
+#: Scenario names understood by :func:`repro.bench.scenario_trace`.
+SCENARIOS: Tuple[str, ...] = ("llm", "llm-bursty", "kernels", "conv")
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Every knob of one serving-benchmark run, as one frozen value.
+
+    Parameters
+    ----------
+    scenario:
+        Which trace generator to run: ``"llm"`` (Poisson prefill/decode mix
+        over the model zoo), ``"llm-bursty"`` (the same mix under bursty
+        arrivals), ``"kernels"`` (Poisson kernel requests over workload
+        ids) or ``"conv"`` (deterministic conv-chain sweep).
+    seed:
+        RNG seed for the trace generator — the whole run is reproducible
+        from this config value.
+    num_requests:
+        Requests generated for the measured (warm) load.  The cold phase is
+        *not* another ``num_requests``: it is the coverage prelude
+        :func:`~repro.bench.traces.cold_warm_trace` prepends — one request
+        per distinct kernel the load touches.
+    concurrency:
+        Driver worker threads.  1 (the default) replays strictly in order,
+        which also makes cache-provenance counts deterministic.
+    time_scale:
+        Multiplier on the trace's inter-arrival gaps; 0.0 replays as fast
+        as possible.
+    models:
+        Model-zoo names used by the LLM scenarios.  The defaults are two
+        models with *distinct* FFN shapes, so every cold-coverage request
+        really pays a fusion search (canonically identical chains — e.g.
+        BERT and GPT-2 — share kernel tables, which would turn part of the
+        cold phase into table hits).
+    workloads:
+        Workload ids used by the ``kernels`` scenario.
+    m_bins:
+        The serving stack's M bins (every trace M is drawn at or below the
+        largest bin so warm traffic stays in the tables).
+    device, top_k, max_tile, cache:
+        Compiler knobs forwarded to the underlying
+        :class:`~repro.config.FuserConfig` (``cache`` is a plan-cache
+        directory, or ``None`` to serve from a fresh in-process state so
+        the cold phase is genuinely cold).
+
+    Example
+    -------
+    >>> config = BenchConfig(scenario="kernels", seed=7)
+    >>> BenchConfig.from_dict(config.to_dict()) == config
+    True
+    >>> config.replace(concurrency=4).concurrency
+    4
+    """
+
+    scenario: str = "llm"
+    seed: int = 0
+    num_requests: int = 24
+    concurrency: int = 1
+    time_scale: float = 0.0
+    models: Tuple[str, ...] = ("BERT", "Qwen3-0.6B")
+    workloads: Tuple[str, ...] = ("G1", "G4", "G10")
+    m_bins: Tuple[int, ...] = (64, 256)
+    device: str = "h100"
+    top_k: int = 5
+    max_tile: int = 128
+    cache: Optional[Union[str, os.PathLike]] = None
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; choose from {SCENARIOS}"
+            )
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.time_scale < 0:
+            raise ValueError("time_scale must be non-negative")
+        object.__setattr__(self, "models", tuple(self.models))
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "m_bins", tuple(self.m_bins))
+        if not self.m_bins or any(m <= 0 for m in self.m_bins):
+            raise ValueError("m_bins must be non-empty and positive")
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def replace(self, **overrides: object) -> "BenchConfig":
+        """A copy with ``overrides`` applied (validated like construction)."""
+        if not overrides:
+            return self
+        return _dataclass_replace(self, **overrides)
+
+    def fuser_config(self) -> FuserConfig:
+        """The :class:`FuserConfig` for the serving stack under test."""
+        return FuserConfig(
+            device=self.device,
+            top_k=self.top_k,
+            max_tile=self.max_tile,
+            cache=self.cache,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form with a stable key order (JSON-ready)."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "num_requests": self.num_requests,
+            "concurrency": self.concurrency,
+            "time_scale": self.time_scale,
+            "models": list(self.models),
+            "workloads": list(self.workloads),
+            "m_bins": list(self.m_bins),
+            "device": self.device,
+            "top_k": self.top_k,
+            "max_tile": self.max_tile,
+            "cache": None if self.cache is None else os.fspath(self.cache),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "BenchConfig":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown BenchConfig fields {sorted(unknown)}; known: "
+                f"{sorted(known)}"
+            )
+        coerced: Dict[str, object] = dict(payload)
+        for key in ("models", "workloads", "m_bins"):
+            if key in coerced:
+                coerced[key] = tuple(coerced[key])
+        return cls(**coerced)

@@ -1,0 +1,455 @@
+"""Perf-report aggregation, serialization and regression diffing.
+
+:class:`PerfReport` condenses one trace replay into the numbers the serving
+story is judged on — throughput, latency percentiles, cache hit rates, and
+the compile-vs-serve time split — overall and per trace phase, so a
+cold-then-warm replay carries its own speedup evidence.  Reports serialize
+to JSON with a **stable schema and key order** (``BENCH_*.json`` artifacts
+diff cleanly across commits), expose a :meth:`PerfReport.deterministic_dict`
+view that strips every timing-dependent field (two seeded replays of the
+same trace are identical under it), and :func:`compare` diffs two reports
+into a :class:`ReportDelta` for CI regression gating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.bench.driver import ReplayResult, RequestRecord
+from repro.runtime.stats import ServingStats
+
+#: Schema version stamped into serialized reports.
+REPORT_SCHEMA_VERSION = 1
+
+#: Top-level keys whose values depend on wall-clock measurement.  They are
+#: dropped by :meth:`PerfReport.deterministic_dict`, which is also the
+#: contract behind "seeded reruns are identical modulo timing fields".
+TIMING_KEYS = (
+    "duration_s",
+    "throughput_rps",
+    "latency_us",
+    "queue_depth",
+    "split",
+    "speedups",
+)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Example
+    -------
+    >>> percentile([10.0, 20.0, 30.0, 40.0], 50)
+    25.0
+    >>> percentile([7.0], 99)
+    7.0
+    """
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def _latency_block(walls: Sequence[float]) -> Dict[str, float]:
+    return {
+        "mean": sum(walls) / len(walls) if walls else 0.0,
+        "p50": percentile(walls, 50),
+        "p95": percentile(walls, 95),
+        "p99": percentile(walls, 99),
+        "max": max(walls) if walls else 0.0,
+    }
+
+
+def _counts(records: Sequence[RequestRecord], attr: str) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for record in records:
+        value = getattr(record, attr)
+        counts[value] = counts.get(value, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _phase_block(records: Sequence[RequestRecord]) -> Dict[str, object]:
+    ok = [record for record in records if record.ok]
+    walls = [record.wall_us for record in ok]
+    compiled = sum(1 for record in ok if record.source == ServingStats.COMPILED)
+    return {
+        "requests": len(records),
+        "errors": len(records) - len(ok),
+        "by_source": _counts(ok, "source"),
+        "hit_rate": (len(ok) - compiled) / len(ok) if ok else 0.0,
+        "latency_us": _latency_block(walls),
+    }
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """One replay's aggregated performance, as a stable JSON-able value.
+
+    Build one with :meth:`from_replay` (or :meth:`from_records`), persist it
+    with :meth:`save`, reload it with :meth:`load`, and diff two of them
+    with :func:`compare`.  The dictionary form is the schema: key order is
+    fixed, map-valued sections are key-sorted, and everything timing-related
+    lives under the keys named in :data:`TIMING_KEYS`.
+
+    Example
+    -------
+    >>> records = [RequestRecord(index=0, phase="cold", kind="kernel",
+    ...                          target="G1", m=64, arrival_s=0.0,
+    ...                          queue_depth=0, wall_us=900.0,
+    ...                          source="compiled"),
+    ...            RequestRecord(index=1, phase="warm", kind="kernel",
+    ...                          target="G1", m=64, arrival_s=0.1,
+    ...                          queue_depth=0, wall_us=30.0,
+    ...                          source="table")]
+    >>> report = PerfReport.from_records(records, name="demo")
+    >>> report.requests, report.hit_rate
+    (2, 0.5)
+    >>> report.phase_speedup()  # cold p50 / warm p50
+    30.0
+    >>> PerfReport.from_dict(report.to_dict()) == report
+    True
+    """
+
+    payload: Mapping[str, object]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "payload", dict(self.payload))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PerfReport):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(json.dumps(self.to_dict(), sort_keys=True))
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_replay(
+        cls,
+        result: ReplayResult,
+        *,
+        name: str = "replay",
+        config: Optional[Mapping[str, object]] = None,
+    ) -> "PerfReport":
+        """Aggregate a :class:`~repro.bench.driver.ReplayResult`."""
+        return cls.from_records(
+            result.records,
+            name=name,
+            trace={
+                "name": result.trace.name,
+                "seed": result.trace.seed,
+                "requests": len(result.trace),
+                "generator": result.trace.metadata.get("generator"),
+            },
+            duration_s=result.elapsed_s,
+            concurrency=result.concurrency,
+            config=config,
+        )
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[RequestRecord],
+        *,
+        name: str = "replay",
+        trace: Optional[Mapping[str, object]] = None,
+        duration_s: Optional[float] = None,
+        concurrency: int = 1,
+        config: Optional[Mapping[str, object]] = None,
+    ) -> "PerfReport":
+        """Aggregate raw request records into a report."""
+        ok = [record for record in records if record.ok]
+        walls = [record.wall_us for record in ok]
+        if duration_s is None:
+            duration_s = sum(walls) / 1e6
+        compiled = [
+            record for record in ok if record.source == ServingStats.COMPILED
+        ]
+        compile_time_us = sum(record.wall_us for record in compiled)
+        serve_time_us = sum(walls) - compile_time_us
+        total_time_us = compile_time_us + serve_time_us
+        phase_blocks = {
+            phase: _phase_block(
+                [record for record in records if record.phase == phase]
+            )
+            for phase in sorted({record.phase for record in records})
+        }
+        depths = [record.queue_depth for record in records]
+        payload: Dict[str, object] = {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "name": name,
+            "trace": dict(
+                sorted((trace or {"name": None, "seed": None}).items())
+            ),
+            "config": dict(sorted((config or {}).items())),
+            "concurrency": concurrency,
+            "counts": {
+                "requests": len(records),
+                "errors": len(records) - len(ok),
+                "by_kind": _counts(ok, "kind"),
+                "by_source": _counts(ok, "source"),
+                "by_target": _counts(ok, "target"),
+            },
+            "cache": {
+                "hits": len(ok) - len(compiled),
+                "misses": len(compiled),
+                "hit_rate": (len(ok) - len(compiled)) / len(ok) if ok else 0.0,
+            },
+            "phases": phase_blocks,
+            "duration_s": duration_s,
+            "throughput_rps": len(ok) / duration_s if duration_s > 0 else 0.0,
+            "latency_us": _latency_block(walls),
+            "queue_depth": {
+                "mean": sum(depths) / len(depths) if depths else 0.0,
+                "max": max(depths) if depths else 0,
+            },
+            "split": {
+                "compile_time_us": compile_time_us,
+                "serve_time_us": serve_time_us,
+                "compile_fraction": (
+                    compile_time_us / total_time_us if total_time_us > 0 else 0.0
+                ),
+            },
+            "speedups": cls._speedups(phase_blocks),
+        }
+        return cls(payload)
+
+    @staticmethod
+    def _speedups(phase_blocks: Mapping[str, Mapping[str, object]]) -> Dict[str, float]:
+        speedups: Dict[str, float] = {}
+        cold = phase_blocks.get("cold")
+        warm = phase_blocks.get("warm")
+        if cold and warm:
+            cold_p50 = cold["latency_us"]["p50"]  # type: ignore[index]
+            warm_p50 = warm["latency_us"]["p50"]  # type: ignore[index]
+            if warm_p50 > 0:
+                speedups["warm_vs_cold_p50"] = cold_p50 / warm_p50
+        return speedups
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """The report's label."""
+        return str(self.payload["name"])
+
+    @property
+    def requests(self) -> int:
+        """Total replayed requests (including failures)."""
+        return int(self.payload["counts"]["requests"])  # type: ignore[index]
+
+    @property
+    def errors(self) -> int:
+        """Requests that failed."""
+        return int(self.payload["counts"]["errors"])  # type: ignore[index]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of successful requests served without a fusion search."""
+        return float(self.payload["cache"]["hit_rate"])  # type: ignore[index]
+
+    @property
+    def p50_us(self) -> float:
+        """Overall median resolution latency in microseconds."""
+        return float(self.payload["latency_us"]["p50"])  # type: ignore[index]
+
+    @property
+    def throughput_rps(self) -> float:
+        """Successful requests per second of replay wall clock."""
+        return float(self.payload["throughput_rps"])
+
+    def phase(self, name: str) -> Dict[str, object]:
+        """The aggregate block of one trace phase."""
+        phases = self.payload["phases"]  # type: ignore[index]
+        if name not in phases:
+            raise KeyError(f"report has no phase {name!r}; phases: {sorted(phases)}")
+        return dict(phases[name])
+
+    def phase_speedup(self, slow: str = "cold", fast: str = "warm") -> float:
+        """p50 speedup of phase ``fast`` over phase ``slow``."""
+        slow_p50 = float(self.phase(slow)["latency_us"]["p50"])  # type: ignore[index]
+        fast_p50 = float(self.phase(fast)["latency_us"]["p50"])  # type: ignore[index]
+        if fast_p50 <= 0:
+            raise ValueError(f"phase {fast!r} has no measured latency")
+        return slow_p50 / fast_p50
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """The report as a plain dictionary (the stable schema itself)."""
+        return json.loads(self.to_json())
+
+    def deterministic_dict(self) -> Dict[str, object]:
+        """The schema with every timing-dependent field removed.
+
+        Two replays of the same seeded trace through the same stack are
+        equal under this view regardless of machine speed — it is what the
+        determinism tests and CI gates compare.
+        """
+        payload = self.to_dict()
+        for key in TIMING_KEYS:
+            payload.pop(key, None)
+        for block in payload.get("phases", {}).values():
+            block.pop("latency_us", None)
+        return payload
+
+    def to_json(self) -> str:
+        """The report as a JSON document (stable key order, diff-friendly)."""
+        return json.dumps(self.payload, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "PerfReport":
+        """Rebuild a report from its dictionary form."""
+        version = int(payload.get("schema_version", REPORT_SCHEMA_VERSION))
+        if version > REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"report schema version {version} is newer than supported "
+                f"({REPORT_SCHEMA_VERSION})"
+            )
+        return cls(payload)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the report as JSON to ``path`` and return the path."""
+        path = Path(path).expanduser()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PerfReport":
+        """Read a report previously written by :meth:`save`."""
+        return cls.from_dict(
+            json.loads(Path(path).expanduser().read_text(encoding="utf-8"))
+        )
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable one-liners for CLI output."""
+        lines = [
+            f"report {self.name}: {self.requests} requests, "
+            f"{self.errors} errors, hit rate {self.hit_rate:.1%}",
+            f"  throughput {self.throughput_rps:.1f} req/s over "
+            f"{float(self.payload['duration_s']):.3f} s",
+            "  latency p50 {p50:.0f} us / p95 {p95:.0f} us / p99 {p99:.0f} us".format(
+                p50=self.p50_us,
+                p95=float(self.payload["latency_us"]["p95"]),  # type: ignore[index]
+                p99=float(self.payload["latency_us"]["p99"]),  # type: ignore[index]
+            ),
+        ]
+        for phase, block in self.payload["phases"].items():  # type: ignore[union-attr]
+            lines.append(
+                f"  phase {phase}: {block['requests']} requests, "
+                f"hit rate {block['hit_rate']:.1%}, "
+                f"p50 {block['latency_us']['p50']:.0f} us"
+            )
+        for label, value in self.payload["speedups"].items():  # type: ignore[union-attr]
+            lines.append(f"  speedup {label}: {value:.1f}x")
+        return lines
+
+
+@dataclass(frozen=True)
+class ReportDelta:
+    """The comparison of two reports (``candidate`` against ``baseline``)."""
+
+    baseline: str
+    candidate: str
+    #: candidate p50 / baseline p50 (> 1 means the candidate is slower).
+    p50_ratio: Optional[float]
+    #: candidate throughput / baseline throughput (< 1 means slower).
+    throughput_ratio: Optional[float]
+    #: candidate hit rate minus baseline hit rate (< 0 means fewer hits).
+    hit_rate_delta: float
+    #: candidate errors minus baseline errors.
+    error_delta: int
+    #: candidate requests minus baseline requests.
+    request_delta: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form with a stable key order."""
+        return {
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "p50_ratio": self.p50_ratio,
+            "throughput_ratio": self.throughput_ratio,
+            "hit_rate_delta": self.hit_rate_delta,
+            "error_delta": self.error_delta,
+            "request_delta": self.request_delta,
+        }
+
+    def regressions(
+        self,
+        *,
+        max_p50_ratio: Optional[float] = None,
+        max_hit_rate_drop: float = 0.0,
+        allow_new_errors: bool = False,
+    ) -> List[str]:
+        """Threshold check for CI gating; empty means no regression.
+
+        Timing thresholds are opt-in (``max_p50_ratio``) because wall-clock
+        ratios are noisy across machines; the deterministic gates — cache
+        hit rate and error count — are always applied.
+        """
+        problems: List[str] = []
+        if self.hit_rate_delta < -max_hit_rate_drop - 1e-12:
+            problems.append(
+                f"cache hit rate dropped by {-self.hit_rate_delta:.1%} "
+                f"(allowed {max_hit_rate_drop:.1%})"
+            )
+        if not allow_new_errors and self.error_delta > 0:
+            problems.append(f"{self.error_delta} new request error(s)")
+        if (
+            max_p50_ratio is not None
+            and self.p50_ratio is not None
+            and self.p50_ratio > max_p50_ratio
+        ):
+            problems.append(
+                f"p50 latency regressed {self.p50_ratio:.2f}x "
+                f"(allowed {max_p50_ratio:.2f}x)"
+            )
+        return problems
+
+
+def compare(baseline: PerfReport, candidate: PerfReport) -> ReportDelta:
+    """Diff two reports for regression gating.
+
+    Example
+    -------
+    >>> records = [RequestRecord(index=0, phase="warm", kind="kernel",
+    ...                          target="G1", m=64, arrival_s=0.0,
+    ...                          queue_depth=0, wall_us=40.0, source="table")]
+    >>> before = PerfReport.from_records(records, name="before")
+    >>> after = PerfReport.from_records(records, name="after")
+    >>> delta = compare(before, after)
+    >>> delta.p50_ratio, delta.regressions()
+    (1.0, [])
+    """
+    baseline_p50 = baseline.p50_us
+    candidate_p50 = candidate.p50_us
+    baseline_rps = baseline.throughput_rps
+    candidate_rps = candidate.throughput_rps
+    return ReportDelta(
+        baseline=baseline.name,
+        candidate=candidate.name,
+        p50_ratio=(candidate_p50 / baseline_p50) if baseline_p50 > 0 else None,
+        throughput_ratio=(
+            candidate_rps / baseline_rps if baseline_rps > 0 else None
+        ),
+        hit_rate_delta=candidate.hit_rate - baseline.hit_rate,
+        error_delta=candidate.errors - baseline.errors,
+        request_delta=candidate.requests - baseline.requests,
+    )

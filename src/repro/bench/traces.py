@@ -1,0 +1,664 @@
+"""Seeded synthetic load traces for the serving benchmark harness.
+
+A :class:`Trace` is a reproducible serving scenario: an ordered sequence of
+:class:`TraceRequest` arrivals, each naming either a kernel workload (served
+by :class:`~repro.runtime.server.KernelServer`) or a model-zoo model (served
+by :class:`~repro.graphs.server.ModelServer`) at some runtime M.  Every
+generator in this module is driven by an explicit seed, so a trace is a
+*value*: regenerate it from ``(generator, params, seed)`` or round-trip it
+through JSON (:meth:`Trace.save` / :meth:`Trace.load`) and replay the exact
+same request sequence anywhere.
+
+Generators cover the load shapes the paper's end-to-end evaluation cares
+about:
+
+* :func:`poisson_trace` — open-loop Poisson arrivals over kernel workloads,
+  the classic steady-traffic model.
+* :func:`bursty_trace` — arrivals clustered into bursts separated by idle
+  gaps, stressing queueing and concurrent-miss deduplication.
+* :func:`llm_serving_trace` — an SGLang-style prefill/decode mix over the
+  model zoo: rare large-M prefill requests interleaved with dense small-M
+  decode steps.
+* :func:`conv_sweep_trace` — a deterministic sweep over the conv-chain
+  suite, the vision-workload counterpart.
+* :func:`repeat_phases` — replays any trace in consecutive named phases
+  (``cold`` then ``warm`` by default), which is how cold-vs-warm cache
+  behaviour becomes measurable inside a single report.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.ir.workloads import MODEL_ZOO, get_workload, list_workloads
+
+if TYPE_CHECKING:
+    from repro.bench.config import BenchConfig
+
+#: Request kinds understood by the load driver.
+KIND_KERNEL = "kernel"
+KIND_MODEL = "model"
+
+#: Schema version stamped into serialized traces.
+TRACE_SCHEMA_VERSION = 1
+
+#: Default phase names used by :func:`repeat_phases` for two repeats.
+DEFAULT_PHASES: Tuple[str, str] = ("cold", "warm")
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request of a load trace.
+
+    Parameters
+    ----------
+    arrival_s:
+        Arrival time in seconds from the start of the trace.  The driver
+        honours inter-arrival gaps scaled by its ``time_scale`` (0 replays
+        as fast as possible).
+    kind:
+        ``"kernel"`` (``target`` is a workload id like ``"G4"``) or
+        ``"model"`` (``target`` is a model-zoo name like ``"BERT"``).
+    target:
+        The workload id or model name this request resolves.
+    m:
+        The runtime M (batched token count) of the request.
+    phase:
+        Free-form phase tag (``"cold"``, ``"warm"``, ...) used by the
+        report's per-phase aggregation.
+
+    Example
+    -------
+    >>> request = TraceRequest(arrival_s=0.5, kind="kernel", target="G4", m=96)
+    >>> TraceRequest.from_dict(request.to_dict()) == request
+    True
+    """
+
+    arrival_s: float
+    kind: str
+    target: str
+    m: int
+    phase: str = "steady"
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_KERNEL, KIND_MODEL):
+            raise ValueError(f"kind must be 'kernel' or 'model', not {self.kind!r}")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        if self.m <= 0:
+            raise ValueError("m must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form with a stable key order."""
+        return {
+            "arrival_s": self.arrival_s,
+            "kind": self.kind,
+            "target": self.target,
+            "m": self.m,
+            "phase": self.phase,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TraceRequest":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            arrival_s=float(payload["arrival_s"]),
+            kind=str(payload["kind"]),
+            target=str(payload["target"]),
+            m=int(payload["m"]),
+            phase=str(payload.get("phase", "steady")),
+        )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A reproducible serving scenario: requests plus their provenance.
+
+    ``metadata`` records the generator name and parameters that produced the
+    trace, so a serialized trace documents itself; ``seed`` is the RNG seed,
+    making ``(metadata, seed)`` sufficient to regenerate the identical
+    request sequence.
+
+    Example
+    -------
+    >>> trace = poisson_trace(["G1"], num_requests=3, seed=7)
+    >>> restored = Trace.from_json(trace.to_json())
+    >>> restored == trace
+    True
+    >>> len(restored)
+    3
+    """
+
+    name: str
+    seed: int
+    requests: Tuple[TraceRequest, ...]
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+        object.__setattr__(self, "metadata", dict(self.metadata))
+        arrivals = [request.arrival_s for request in self.requests]
+        if arrivals != sorted(arrivals):
+            raise ValueError("trace requests must be sorted by arrival_s")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.seed == other.seed
+            and self.requests == other.requests
+            and dict(self.metadata) == dict(other.metadata)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.seed, self.requests))
+
+    @property
+    def duration_s(self) -> float:
+        """Arrival time of the last request (0.0 for an empty trace)."""
+        return self.requests[-1].arrival_s if self.requests else 0.0
+
+    def phases(self) -> List[str]:
+        """Distinct phase tags, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for request in self.requests:
+            seen.setdefault(request.phase, None)
+        return list(seen)
+
+    def targets(self) -> List[str]:
+        """Distinct ``kind:target`` pairs, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for request in self.requests:
+            seen.setdefault(f"{request.kind}:{request.target}", None)
+        return list(seen)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form with a stable key order."""
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "metadata": {key: self.metadata[key] for key in sorted(self.metadata)},
+            "requests": [request.to_dict() for request in self.requests],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Trace":
+        """Inverse of :meth:`to_dict` (tolerates any known schema version)."""
+        version = int(payload.get("schema_version", TRACE_SCHEMA_VERSION))
+        if version > TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"trace schema version {version} is newer than supported "
+                f"({TRACE_SCHEMA_VERSION})"
+            )
+        return cls(
+            name=str(payload["name"]),
+            seed=int(payload["seed"]),
+            requests=tuple(
+                TraceRequest.from_dict(item) for item in payload["requests"]
+            ),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+    def to_json(self) -> str:
+        """The trace as a JSON document (stable key order, diff-friendly)."""
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, blob: str) -> "Trace":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(blob))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the trace as JSON to ``path`` and return the path."""
+        path = Path(path).expanduser()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        return cls.from_json(Path(path).expanduser().read_text(encoding="utf-8"))
+
+
+# --------------------------------------------------------------------- #
+# Arrival processes
+# --------------------------------------------------------------------- #
+def poisson_arrivals(
+    num_requests: int, rate_hz: float, rng: random.Random
+) -> List[float]:
+    """Open-loop Poisson arrival times (exponential inter-arrival gaps)."""
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    arrivals: List[float] = []
+    now = 0.0
+    for _ in range(num_requests):
+        now += rng.expovariate(rate_hz)
+        arrivals.append(now)
+    return arrivals
+
+
+def bursty_arrivals(
+    num_requests: int,
+    rng: random.Random,
+    *,
+    burst_size: int = 8,
+    burst_gap_s: float = 1.0,
+    intra_gap_s: float = 0.002,
+) -> List[float]:
+    """Arrival times clustered into bursts separated by idle gaps.
+
+    Bursts hold ``burst_size`` requests on average (jittered ±50%) spaced
+    ``intra_gap_s`` apart; consecutive bursts are separated by an
+    exponential gap with mean ``burst_gap_s``.
+    """
+    if burst_size < 1:
+        raise ValueError("burst_size must be >= 1")
+    arrivals: List[float] = []
+    now = 0.0
+    while len(arrivals) < num_requests:
+        size = max(1, round(burst_size * (0.5 + rng.random())))
+        for _ in range(min(size, num_requests - len(arrivals))):
+            arrivals.append(now)
+            now += intra_gap_s
+        now += rng.expovariate(1.0 / burst_gap_s)
+    return arrivals
+
+
+# --------------------------------------------------------------------- #
+# Trace generators
+# --------------------------------------------------------------------- #
+def poisson_trace(
+    workloads: Sequence[str],
+    *,
+    num_requests: int = 64,
+    rate_hz: float = 50.0,
+    m_choices: Sequence[int] = (32, 64, 96, 128),
+    seed: int = 0,
+    name: str = "poisson",
+) -> Trace:
+    """Poisson-arrival kernel requests sampled uniformly over ``workloads``.
+
+    Example
+    -------
+    >>> trace = poisson_trace(["G1", "G4"], num_requests=4, seed=1)
+    >>> [r.kind for r in trace.requests]
+    ['kernel', 'kernel', 'kernel', 'kernel']
+    """
+    _validate_workloads(workloads)
+    rng = random.Random(seed)
+    arrivals = poisson_arrivals(num_requests, rate_hz, rng)
+    requests = tuple(
+        TraceRequest(
+            arrival_s=arrival,
+            kind=KIND_KERNEL,
+            target=rng.choice(list(workloads)),
+            m=rng.choice(list(m_choices)),
+        )
+        for arrival in arrivals
+    )
+    return Trace(
+        name=name,
+        seed=seed,
+        requests=requests,
+        metadata={
+            "generator": "poisson_trace",
+            "workloads": list(workloads),
+            "rate_hz": rate_hz,
+            "m_choices": list(m_choices),
+        },
+    )
+
+
+def bursty_trace(
+    workloads: Sequence[str],
+    *,
+    num_requests: int = 64,
+    burst_size: int = 8,
+    burst_gap_s: float = 1.0,
+    m_choices: Sequence[int] = (32, 64, 96, 128),
+    seed: int = 0,
+    name: str = "bursty",
+) -> Trace:
+    """Bursty kernel requests over ``workloads`` (see :func:`bursty_arrivals`)."""
+    _validate_workloads(workloads)
+    rng = random.Random(seed)
+    arrivals = bursty_arrivals(
+        num_requests, rng, burst_size=burst_size, burst_gap_s=burst_gap_s
+    )
+    requests = tuple(
+        TraceRequest(
+            arrival_s=arrival,
+            kind=KIND_KERNEL,
+            target=rng.choice(list(workloads)),
+            m=rng.choice(list(m_choices)),
+        )
+        for arrival in arrivals
+    )
+    return Trace(
+        name=name,
+        seed=seed,
+        requests=requests,
+        metadata={
+            "generator": "bursty_trace",
+            "workloads": list(workloads),
+            "burst_size": burst_size,
+            "burst_gap_s": burst_gap_s,
+            "m_choices": list(m_choices),
+        },
+    )
+
+
+def llm_serving_trace(
+    models: Sequence[str],
+    *,
+    num_requests: int = 64,
+    prefill_fraction: float = 0.25,
+    prefill_m: Sequence[int] = (192, 256),
+    decode_m: Sequence[int] = (8, 16, 32, 64),
+    rate_hz: float = 50.0,
+    bursty: bool = False,
+    seed: int = 0,
+    name: str = "llm-serving",
+) -> Trace:
+    """An SGLang-style prefill/decode mix over model-zoo models.
+
+    Each request serves one model's transformer layer: with probability
+    ``prefill_fraction`` at a large prefill M, otherwise at a small decode
+    M.  Arrivals are Poisson by default or bursty with ``bursty=True`` —
+    the latter models decode storms where many sequences step together.
+
+    Example
+    -------
+    >>> trace = llm_serving_trace(["BERT"], num_requests=4, seed=3)
+    >>> sorted({r.target for r in trace.requests})
+    ['BERT']
+    """
+    for model in models:
+        if model not in MODEL_ZOO:
+            raise KeyError(f"unknown model {model!r}; see repro.ir.workloads.MODEL_ZOO")
+    if not 0.0 <= prefill_fraction <= 1.0:
+        raise ValueError("prefill_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    if bursty:
+        arrivals = bursty_arrivals(num_requests, rng)
+    else:
+        arrivals = poisson_arrivals(num_requests, rate_hz, rng)
+    requests = tuple(
+        TraceRequest(
+            arrival_s=arrival,
+            kind=KIND_MODEL,
+            target=rng.choice(list(models)),
+            m=(
+                rng.choice(list(prefill_m))
+                if rng.random() < prefill_fraction
+                else rng.choice(list(decode_m))
+            ),
+        )
+        for arrival in arrivals
+    )
+    return Trace(
+        name=name,
+        seed=seed,
+        requests=requests,
+        metadata={
+            "generator": "llm_serving_trace",
+            "models": list(models),
+            "prefill_fraction": prefill_fraction,
+            "prefill_m": list(prefill_m),
+            "decode_m": list(decode_m),
+            "rate_hz": rate_hz,
+            "bursty": bursty,
+        },
+    )
+
+
+def conv_sweep_trace(
+    workloads: Optional[Sequence[str]] = None,
+    *,
+    repeats: int = 2,
+    gap_s: float = 0.01,
+    m_choices: Sequence[int] = (64, 128),
+    seed: int = 0,
+    name: str = "conv-sweep",
+) -> Trace:
+    """A deterministic sweep over the conv-chain suite (Table V shapes).
+
+    Every (workload, M) pair is visited ``repeats`` times in order — a
+    regression-friendly vision-workload scan rather than a stochastic load.
+    The ``seed`` only shuffles the sweep order, keeping coverage exact.
+    """
+    workloads = list(workloads if workloads is not None else list_workloads("conv"))
+    _validate_workloads(workloads)
+    rng = random.Random(seed)
+    pairs = [(workload, m) for workload in workloads for m in m_choices]
+    rng.shuffle(pairs)
+    requests: List[TraceRequest] = []
+    now = 0.0
+    for _ in range(repeats):
+        for workload, m in pairs:
+            requests.append(
+                TraceRequest(arrival_s=now, kind=KIND_KERNEL, target=workload, m=m)
+            )
+            now += gap_s
+    return Trace(
+        name=name,
+        seed=seed,
+        requests=tuple(requests),
+        metadata={
+            "generator": "conv_sweep_trace",
+            "workloads": list(workloads),
+            "repeats": repeats,
+            "m_choices": list(m_choices),
+        },
+    )
+
+
+def repeat_phases(
+    trace: Trace,
+    phases: Sequence[str] = DEFAULT_PHASES,
+    *,
+    gap_s: float = 0.05,
+) -> Trace:
+    """Replay ``trace`` once per phase name, tagging each pass.
+
+    The first pass populates caches and kernel tables; later passes measure
+    steady state — with the default phases this turns any trace into a
+    cold-vs-warm experiment whose per-phase latencies land side by side in
+    one :class:`~repro.bench.report.PerfReport`.
+
+    Example
+    -------
+    >>> trace = poisson_trace(["G1"], num_requests=2, seed=0)
+    >>> phased = repeat_phases(trace)
+    >>> phased.phases()
+    ['cold', 'warm']
+    >>> len(phased) == 2 * len(trace)
+    True
+    """
+    if not phases:
+        raise ValueError("phases must be non-empty")
+    requests: List[TraceRequest] = []
+    offset = 0.0
+    for phase in phases:
+        for request in trace.requests:
+            requests.append(
+                TraceRequest(
+                    arrival_s=offset + request.arrival_s,
+                    kind=request.kind,
+                    target=request.target,
+                    m=request.m,
+                    phase=phase,
+                )
+            )
+        offset += trace.duration_s + gap_s
+    return Trace(
+        name=f"{trace.name}-{'-'.join(phases)}",
+        seed=trace.seed,
+        requests=tuple(requests),
+        metadata={**trace.metadata, "phases": list(phases), "phase_gap_s": gap_s},
+    )
+
+
+def cold_warm_trace(
+    trace: Trace,
+    m_bins: Sequence[int],
+    *,
+    gap_s: float = 0.05,
+    phases: Sequence[str] = DEFAULT_PHASES,
+) -> Trace:
+    """Prepend a cold coverage prelude to ``trace``.
+
+    The first phase visits each distinct ``(kind, target, M-bin)`` of the
+    trace exactly once at the bin's M — each request prices the path the
+    serving stack takes the first time it sees that key.  The second phase
+    then replays the full original load, which by construction stays inside
+    the now-populated tables.  The resulting report's ``cold`` p50 is
+    therefore the median *first-request* cost and ``warm`` p50 the median
+    steady-state cost, which is the comparison the cold-vs-warm speedup
+    claim is about.
+
+    Coverage is keyed on the trace's ``(kind, target, bin)`` triples, not
+    on kernel identity: two targets whose extracted chains are canonically
+    identical (BERT's and GPT-2's FFN, say) share one kernel table, so the
+    second target's coverage request resolves as a table hit rather than a
+    search.  Pick distinct shapes when the cold phase should be all misses.
+
+    ``m_bins`` must match the serving stack's bins, otherwise the prelude
+    covers the wrong kernels.
+
+    Example
+    -------
+    >>> base = poisson_trace(["G1"], num_requests=6, m_choices=(8, 100), seed=0)
+    >>> phased = cold_warm_trace(base, m_bins=(64, 128))
+    >>> sorted(r.m for r in phased.requests if r.phase == "cold")
+    [64, 128]
+    >>> sum(1 for r in phased.requests if r.phase == "warm")
+    6
+    """
+    if len(phases) != 2:
+        raise ValueError("cold_warm_trace needs exactly two phase names")
+    bins = sorted(set(m_bins))
+    if not bins or any(m <= 0 for m in bins):
+        raise ValueError("m_bins must be non-empty and positive")
+
+    def bin_for(m: int) -> int:
+        index = bisect.bisect_left(bins, m)
+        return bins[min(index, len(bins) - 1)]
+
+    coverage: List[Tuple[str, str, int]] = []
+    seen = set()
+    for request in trace.requests:
+        key = (request.kind, request.target, bin_for(request.m))
+        if key not in seen:
+            seen.add(key)
+            coverage.append(key)
+    requests: List[TraceRequest] = []
+    now = 0.0
+    for kind, target, bin_m in coverage:
+        requests.append(
+            TraceRequest(
+                arrival_s=now, kind=kind, target=target, m=bin_m, phase=phases[0]
+            )
+        )
+        now += gap_s
+    offset = now + gap_s
+    for request in trace.requests:
+        requests.append(
+            TraceRequest(
+                arrival_s=offset + request.arrival_s,
+                kind=request.kind,
+                target=request.target,
+                m=request.m,
+                phase=phases[1],
+            )
+        )
+    return Trace(
+        name=f"{trace.name}-{'-'.join(phases)}",
+        seed=trace.seed,
+        requests=tuple(requests),
+        metadata={
+            **trace.metadata,
+            "phases": list(phases),
+            "cold_coverage": len(coverage),
+            "m_bins": bins,
+        },
+    )
+
+
+def scenario_trace(config: "BenchConfig") -> Trace:
+    """Build the phased (cold, warm) trace a :class:`BenchConfig` describes.
+
+    The stochastic scenarios generate ``config.num_requests`` requests from
+    the configured seed (the ``conv`` sweep visits its exact coverage set
+    instead); every scenario is then wrapped by :func:`cold_warm_trace`, so
+    the resulting report prices the first-request (fusion search) path in
+    its ``cold`` phase and the steady-state path in its ``warm`` phase.
+
+    Example
+    -------
+    >>> from repro.bench.config import BenchConfig
+    >>> trace = scenario_trace(BenchConfig(scenario="kernels", num_requests=3))
+    >>> trace.phases()
+    ['cold', 'warm']
+    """
+    largest_bin = max(config.m_bins)
+    smallest_bin = min(config.m_bins)
+    if config.scenario in ("llm", "llm-bursty"):
+        base = llm_serving_trace(
+            config.models,
+            num_requests=config.num_requests,
+            prefill_m=tuple(
+                sorted({largest_bin // 2 or 1, largest_bin})
+            ),
+            decode_m=tuple(
+                sorted({max(1, smallest_bin // 8), smallest_bin // 2 or 1, smallest_bin})
+            ),
+            bursty=config.scenario == "llm-bursty",
+            seed=config.seed,
+            name=config.scenario,
+        )
+    elif config.scenario == "kernels":
+        base = poisson_trace(
+            config.workloads,
+            num_requests=config.num_requests,
+            m_choices=tuple(sorted({smallest_bin, largest_bin})),
+            seed=config.seed,
+            name=config.scenario,
+        )
+    else:  # "conv" — BenchConfig validated the scenario name already
+        base = conv_sweep_trace(
+            m_choices=tuple(sorted({smallest_bin, largest_bin})),
+            seed=config.seed,
+            name=config.scenario,
+        )
+    return cold_warm_trace(base, config.m_bins)
+
+
+def _validate_workloads(workloads: Sequence[str]) -> None:
+    if not workloads:
+        raise ValueError("workloads must be non-empty")
+    for workload in workloads:
+        get_workload(workload)  # raises KeyError for unknown ids

@@ -89,6 +89,16 @@ class FuserConfig:
         engine; a larger value shards the candidate space across that many
         worker processes.  Never part of the cache key — it cannot change
         the selected plan.
+
+    Example
+    -------
+    >>> config = FuserConfig(device="a100", top_k=5)
+    >>> config.replace(top_k=7).top_k
+    7
+    >>> FuserConfig.from_dict(config.to_dict()) == config
+    True
+    >>> sorted(config.cache_key_fields())
+    ['include_dsm', 'max_tile', 'top_k']
     """
 
     device: Union[str, HardwareSpec] = "h100"

@@ -15,5 +15,15 @@ class FusionError(RuntimeError):
     Two situations produce it: the search finds no feasible fused plan for a
     chain (its intermediate exceeds every on-chip placement), or a malformed
     operator graph — a cycle, an inconsistent edge, a reference to an
-    undeclared input — reaches the graph compiler.
+    undeclared input — reaches the graph compiler.  It subclasses
+    :class:`RuntimeError`, so pre-existing ``except RuntimeError`` handlers
+    keep working.
+
+    Example
+    -------
+    >>> try:
+    ...     raise FusionError("no feasible fused plan for C4")
+    ... except FusionError as exc:
+    ...     print(exc)
+    no feasible fused plan for C4
     """

@@ -44,7 +44,23 @@ SOURCE_SIMULATED = "simulated"
 
 @dataclass
 class PlanSegment:
-    """One schedulable unit of a compiled model plan."""
+    """One schedulable unit of a compiled model plan.
+
+    Either a fused chain kernel or a run of unfused operators, carrying its
+    full provenance: how it was resolved, whether the plan cache served it,
+    and its fused-vs-unfused simulated times.
+
+    Example
+    -------
+    ::
+
+        from repro import compile_graph
+        from repro.ir.workloads import get_model
+
+        plan = compile_graph(get_model("BERT").layer_graph(seq_len=128))
+        for segment in plan.segments:
+            print(segment.name, segment.kind, segment.source, segment.time_us)
+    """
 
     name: str
     kind: str
@@ -86,7 +102,24 @@ class PlanSegment:
 
 @dataclass
 class ModelPlan:
-    """A topologically ordered execution plan for one model graph."""
+    """A topologically ordered execution plan for one model graph.
+
+    The output of :func:`compile_graph`: every :class:`PlanSegment` in
+    schedule order plus the extraction it was assembled from, with
+    aggregate timings (:attr:`time_us`, :meth:`speedup_vs_unfused`) and
+    provenance (:attr:`cache_hits`, :meth:`rows`, :meth:`summary`).
+
+    Example
+    -------
+    ::
+
+        from repro import compile_graph
+        from repro.ir.workloads import get_model
+
+        plan = compile_graph(get_model("BERT").layer_graph(seq_len=128))
+        print(plan.summary()["speedup_vs_unfused"])
+        print(plan.rows())                      # per-segment provenance
+    """
 
     graph_name: str
     segments: List[PlanSegment]
@@ -269,6 +302,18 @@ def compile_graph(
     request consulting the compiler's plan cache with exactly the key that
     compiling the same :class:`~repro.ir.graph.GemmChainSpec` directly
     would use.
+
+    Example
+    -------
+    ::
+
+        from repro import FlashFuser, PlanCache, compile_graph
+        from repro.ir.workloads import get_model
+
+        graph = get_model("BERT").layer_graph(seq_len=128)
+        with FlashFuser(cache=PlanCache(directory="~/.cache/ff")) as compiler:
+            plan = compile_graph(graph, compiler=compiler)
+        print(plan.summary())       # fused chains, cache hits, speedup
     """
     if compiler is not None and (config is not None or overrides):
         raise ValueError("pass either compiler= or config=/overrides, not both")

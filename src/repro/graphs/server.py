@@ -97,6 +97,19 @@ class ModelServer:
         on the backing compiler's device.
     stats:
         Model-level metrics sink (a fresh :class:`ServingStats` by default).
+
+    Example
+    -------
+    ::
+
+        from repro import ModelServer
+
+        with ModelServer(cache="~/.cache/ff") as server:
+            server.register("bert", "BERT")        # zoo name -> layer factory
+            response = server.serve("bert", m=128) # cold: fusion search
+            again = server.serve("bert", m=96)     # warm: kernel-table hit
+        print(response.source, again.source)       # 'compiled' 'table'
+        print(server.snapshot()["models"]["hit_rate"])
     """
 
     def __init__(

@@ -44,6 +44,16 @@ def register_device(
     ``spec`` is a :class:`HardwareSpec` or a zero-argument factory; factories
     are resolved lazily on first :func:`get_device` and memoized.  Registering
     an already-taken name raises unless ``overwrite=True``.
+
+    Example
+    -------
+    >>> import dataclasses
+    >>> derated = dataclasses.replace(
+    ...     get_device("h100"), name="H100 derated", peak_fp16_tflops=700.0)
+    >>> register_device("h100-derated", derated)
+    >>> get_device("H100-DERATED").peak_fp16_tflops   # case-insensitive
+    700.0
+    >>> unregister_device("h100-derated")
     """
     key = _normalize(name)
     if not isinstance(spec, HardwareSpec) and not callable(spec):
@@ -79,6 +89,13 @@ def get_device(
     Specs pass through unchanged; names are looked up case-insensitively;
     ``None`` resolves the default device (``"h100"``).  Repeated lookups of
     the same name return the same memoized instance.
+
+    Example
+    -------
+    >>> get_device("h100").name
+    'NVIDIA H100 SXM'
+    >>> get_device("h100") is get_device("H100")
+    True
     """
     if device is None:
         device = DEFAULT_DEVICE
@@ -105,7 +122,13 @@ def get_device(
 
 
 def list_devices() -> List[str]:
-    """All registered device names, sorted."""
+    """All registered device names, sorted.
+
+    Example
+    -------
+    >>> {"a100", "h100"} <= set(list_devices())   # built-in presets
+    True
+    """
     with _LOCK:
         return sorted(_REGISTRY)
 

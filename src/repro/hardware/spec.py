@@ -38,6 +38,14 @@ class HardwareSpec:
         Cluster-related hardware constants.
     bytes_per_element:
         Default datatype width in bytes (FP16 = 2).
+
+    Example
+    -------
+    >>> spec = h100_spec()
+    >>> spec.num_sms, spec.has_dsm
+    (132, True)
+    >>> spec.dsm_capacity_bytes(cluster_size=2) == spec.smem_capacity_bytes
+    True
     """
 
     name: str
@@ -172,6 +180,15 @@ def h100_spec() -> HardwareSpec:
     Capacities and bandwidths follow the paper and published
     microbenchmarks: 227 KB usable SMEM per SM, 64 K 32-bit registers per SM,
     3.35 TB/s HBM3, ~1000 TFLOPS FP16 tensor-core peak, 132 SMs.
+
+    Returns a fresh :class:`HardwareSpec`; prefer
+    :func:`repro.hardware.registry.get_device` (``get_device("h100")``) when
+    a shared memoized instance is enough.
+
+    Example
+    -------
+    >>> h100_spec().name
+    'NVIDIA H100 SXM'
     """
     hierarchy = MemoryHierarchy(
         [
@@ -219,7 +236,17 @@ def h100_spec() -> HardwareSpec:
 
 
 def a100_spec() -> HardwareSpec:
-    """NVIDIA A100 SXM preset (no DSM; used for memory-wall comparisons)."""
+    """NVIDIA A100 SXM preset (no DSM; used for memory-wall comparisons).
+
+    Returns a fresh :class:`HardwareSpec` for the A100: 108 SMs, no
+    thread-block clusters (``has_dsm`` is ``False``), so fusion is limited
+    to a single SM's resources — the introduction's comparison point.
+
+    Example
+    -------
+    >>> a100_spec().has_dsm
+    False
+    """
     hierarchy = MemoryHierarchy(
         [
             MemoryLevel(

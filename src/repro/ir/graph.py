@@ -60,6 +60,16 @@ class GemmChainSpec:
         Activation applied to the intermediate matrix C.
     dtype:
         Element datatype.
+
+    Example
+    -------
+    >>> spec = GemmChainSpec("demo", m=128, n=512, k=64, l=64)
+    >>> spec.scaled(m=64).m          # rebin the runtime token dimension
+    64
+    >>> spec.total_flops() == 2 * 128 * 512 * 64 + 2 * 128 * 64 * 512
+    True
+    >>> sorted(spec.canonical_dict())   # the plan-cache identity fields
+    ['activation', 'dtype', 'k', 'kind', 'l', 'm', 'n']
     """
 
     name: str
@@ -237,6 +247,17 @@ class OperatorGraph:
     ``inputs=`` declares them explicitly, which lets :meth:`validate` reject
     edges that reference tensors no operator produces and no input declares
     (usually a typo in a tensor name).
+
+    Example
+    -------
+    >>> from repro.ir.builders import build_standard_ffn
+    >>> graph, _ = build_standard_ffn("demo", m=64, n=128, k=32, l=32)
+    >>> len(graph)                            # gemm0 -> activation -> gemm1
+    3
+    >>> [op.name for op in graph.topological_order()]
+    ['demo.gemm0', 'demo.act', 'demo.gemm1']
+    >>> graph.validate() is graph             # raises FusionError if malformed
+    True
     """
 
     def __init__(

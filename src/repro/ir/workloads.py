@@ -167,6 +167,13 @@ def list_workloads(suite: str | None = None) -> List[str]:
 
     ``suite`` is one of ``"gemm"`` (G1-G10), ``"gated_ffn"`` (S1-S8) or
     ``"conv"`` (C1-C8); ``None`` lists everything.
+
+    Example
+    -------
+    >>> list_workloads("gemm")[:3]
+    ['G1', 'G2', 'G3']
+    >>> len(list_workloads())
+    26
     """
     if suite is None:
         ids: List[str] = []
@@ -179,7 +186,20 @@ def list_workloads(suite: str | None = None) -> List[str]:
 
 
 def get_workload(workload_id: str) -> WorkloadConfig:
-    """Return the configuration for one workload identifier (e.g. ``"G5"``)."""
+    """Return the configuration for one ``workload_id`` (e.g. ``"G5"``).
+
+    The result is a :class:`GemmChainConfig` or :class:`ConvChainConfig` row
+    of Tables V-VII; call ``.to_spec()`` for the canonical chain spec or
+    ``.to_graph()`` for the operator-graph form.  Unknown ids raise
+    :class:`KeyError`.
+
+    Example
+    -------
+    >>> get_workload("G4").model
+    'GPT-2-Small'
+    >>> get_workload("G4").to_spec().n
+    3072
+    """
     for table in _ALL_SUITES.values():
         if workload_id in table:
             return table[workload_id]

@@ -120,6 +120,20 @@ class BatchCompiler:
     parallelism:
         Deprecated: use ``overrides={"parallelism": N}`` or set
         :attr:`FuserConfig.parallelism` on the compiler.
+
+    Example
+    -------
+    ::
+
+        from repro import BatchCompiler, FlashFuser, PlanCache
+        from repro.ir.workloads import get_chain_spec
+
+        compiler = FlashFuser(cache=PlanCache(directory="~/.cache/ff"))
+        batch = BatchCompiler(compiler)
+        items = batch.compile_workloads(["G4", "G5", "S3"])
+        print({wid: item.status for wid, item in items.items()})
+        table = batch.compile_table(get_chain_spec("G4"), m_bins=(64, 128, 256))
+        print(table.bins())
     """
 
     def __init__(

@@ -206,6 +206,19 @@ class PlanCache:
     All operations are thread-safe; the
     :class:`~repro.runtime.batch.BatchCompiler` relies on this to fan
     compile jobs across a worker pool with a shared cache.
+
+    Example
+    -------
+    ::
+
+        from repro import FlashFuser, PlanCache
+
+        cache = PlanCache(directory="~/.cache/flashfuser")
+        with FlashFuser(cache=cache) as compiler:
+            compiler.compile_workload("G4")     # cold: search + store
+            compiler.compile_workload("G4")     # warm: memory-tier hit
+        print(cache.stats.snapshot())           # hits, misses, tiers
+        # A new process pointing at the same directory starts warm (disk tier).
     """
 
     def __init__(

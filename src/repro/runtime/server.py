@@ -86,6 +86,18 @@ class KernelServer:
         (``KernelServer(config=FuserConfig(parallelism=4), top_k=5)``).
     parallelism:
         Deprecated: set :attr:`FuserConfig.parallelism` instead.
+
+    Example
+    -------
+    ::
+
+        from repro import KernelServer
+
+        with KernelServer(cache="~/.cache/ff", m_bins=(64, 128, 256)) as server:
+            server.warmup(["G4", "S3"])              # precompile the tables
+            response = server.request("G4", m=100)   # binned to 128
+            print(response.source, response.kernel.time_us)
+            print(server.snapshot()["serving"]["hit_rate"])
     """
 
     def __init__(

@@ -55,6 +55,16 @@ class ServingStats:
     :class:`LatencySummary` per resolution source.  A request is a *hit*
     when it was satisfied without running the fusion search (table or cache
     sources); the on-demand ``"compiled"`` source is the only miss.
+
+    Example
+    -------
+    >>> stats = ServingStats()
+    >>> stats.record_request("G4", "compiled", 1500.0)
+    >>> stats.record_request("G4", "table", 40.0)
+    >>> stats.hits, stats.misses, stats.hit_rate()
+    (1, 1, 0.5)
+    >>> stats.to_dict()["by_source"]
+    {'compiled': 1, 'table': 1}
     """
 
     #: The resolution source recorded for on-demand compiles (the only miss).
@@ -97,22 +107,48 @@ class ServingStats:
         """Fraction of requests served without a search (0.0 when idle)."""
         return self.hits / self.requests if self.requests else 0.0
 
-    def snapshot(self) -> Dict[str, object]:
-        """Plain-dictionary view of every counter and latency aggregate."""
+    def to_dict(self) -> Dict[str, object]:
+        """Every counter and latency aggregate, with a stable key order.
+
+        Top-level keys appear in a fixed order and map-valued sections
+        (``by_source``, ``by_workload``, ``latency_us``) are key-sorted, so
+        two snapshots of equal state serialize to byte-identical JSON and
+        CI artifacts diff cleanly across runs.
+
+        Example
+        -------
+        >>> stats = ServingStats()
+        >>> stats.record_request("G4", "table", 42.0)
+        >>> payload = stats.to_dict()
+        >>> payload["requests"], payload["hit_rate"]
+        (1, 1.0)
+        >>> list(payload["by_source"])
+        ['table']
+        """
         with self._lock:
             return {
                 "requests": self.requests,
                 "hits": self.hits,
                 "misses": self.misses,
                 "hit_rate": self.hit_rate(),
-                "by_source": dict(self.by_source),
-                "by_workload": dict(self.by_workload),
+                "by_source": {
+                    source: self.by_source[source]
+                    for source in sorted(self.by_source)
+                },
+                "by_workload": {
+                    workload: self.by_workload[workload]
+                    for workload in sorted(self.by_workload)
+                },
                 "latency_us": {
-                    source: summary.snapshot()
-                    for source, summary in self.latency.items()
+                    source: self.latency[source].snapshot()
+                    for source in sorted(self.latency)
                 },
                 "overall_latency_us": self.overall_latency.snapshot(),
             }
+
+    def snapshot(self) -> Dict[str, object]:
+        """Alias for :meth:`to_dict` (the runtime layer's historical name)."""
+        return self.to_dict()
 
     def reset(self) -> None:
         """Zero every counter."""

@@ -103,6 +103,20 @@ def warmup_workloads(
     parallelism:
         Deprecated: use ``overrides={"parallelism": N}`` or set
         :attr:`FuserConfig.parallelism`.
+
+    Returns a :class:`WarmupReport`: per-workload kernel tables plus
+    compiled/cached/failed counts and the elapsed wall clock.
+
+    Example
+    -------
+    ::
+
+        from repro import FuserConfig, warmup_workloads
+
+        config = FuserConfig(cache="~/.cache/ff", parallelism=8)
+        report = warmup_workloads(config, workload_ids=["G4", "G5"],
+                                  m_bins=(64, 128, 256))
+        print(report.succeeded, report.snapshot())
     """
     start = time.perf_counter()
     if parallelism is not None:

@@ -158,6 +158,22 @@ class SearchEngine:
     require_feasible:
         Drop candidates whose persistent intermediate spills to global
         memory (the definition of a fusion failure).
+
+    Example
+    -------
+    ::
+
+        from repro.hardware import h100_spec
+        from repro.ir.workloads import get_chain_spec
+        from repro.search import SearchEngine
+
+        engine = SearchEngine(h100_spec(), top_k=5)
+        result = engine.search(get_chain_spec("G1"))
+        print(result.succeeded, result.best.predicted_cost_us)
+        print(result.summary())      # candidates, prune counts, wall clock
+
+    Most callers should go through :class:`~repro.api.FlashFuser`, which
+    memoizes engines per configuration and layers the plan cache on top.
     """
 
     def __init__(

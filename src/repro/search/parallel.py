@@ -406,6 +406,8 @@ class ParallelSearchEngine:
 
     Parameters
     ----------
+    device:
+        Target hardware, as for :class:`SearchEngine`.
     parallelism:
         Worker-process count; defaults to ``os.cpu_count()``.  With one
         worker the shard loop runs inline (no pool, no pickling) but still
@@ -426,6 +428,27 @@ class ParallelSearchEngine:
     searches, but shard workers always score with a stock
     :class:`CostModel` rebuilt from ``compute_efficiency`` — subclassed
     models do not transfer across the process boundary.
+
+    Example
+    -------
+    ::
+
+        from repro import FlashFuser, FuserConfig
+        from repro.ir.workloads import get_chain_spec
+
+        # The usual entry point: one FuserConfig knob fans cold searches
+        # across 8 worker processes; the selected plan is bit-identical
+        # to the serial engine's.
+        with FlashFuser(FuserConfig(parallelism=8)) as compiler:
+            kernel = compiler.compile_workload("G5")
+
+        # Direct use, mirroring SearchEngine:
+        from repro.hardware import h100_spec
+        from repro.search import ParallelSearchEngine
+
+        engine = ParallelSearchEngine(h100_spec(), parallelism=4)
+        result = engine.search(get_chain_spec("G5"))
+        engine.close()
     """
 
     def __init__(

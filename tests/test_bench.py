@@ -1,0 +1,353 @@
+"""Tests for the trace-driven serving benchmark subsystem."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    LoadDriver,
+    PerfReport,
+    RequestRecord,
+    Trace,
+    TraceRequest,
+    bursty_trace,
+    cold_warm_trace,
+    compare,
+    conv_sweep_trace,
+    llm_serving_trace,
+    percentile,
+    poisson_trace,
+    repeat_phases,
+    scenario_trace,
+)
+from repro.config import FuserConfig
+from repro.graphs.server import ModelServer
+from repro.runtime.server import KernelServer
+
+#: Small search knobs so cold compiles stay fast in the unit suite.
+FAST = dict(top_k=1, max_tile=64)
+
+
+def fast_kernel_server(**kwargs) -> KernelServer:
+    return KernelServer(config=FuserConfig(**FAST), **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Traces
+# --------------------------------------------------------------------- #
+class TestTraces:
+    def test_json_round_trip(self, tmp_path):
+        trace = llm_serving_trace(
+            ["BERT"], num_requests=8, seed=3, bursty=True
+        )
+        assert Trace.from_json(trace.to_json()) == trace
+        path = trace.save(tmp_path / "trace.json")
+        assert Trace.load(path) == trace
+        # The JSON itself is stable: serializing twice is byte-identical.
+        assert trace.to_json() == Trace.load(path).to_json()
+
+    def test_seeded_determinism(self):
+        for generator in (
+            lambda seed: poisson_trace(["G1", "G4"], num_requests=12, seed=seed),
+            lambda seed: bursty_trace(["G1"], num_requests=12, seed=seed),
+            lambda seed: llm_serving_trace(["BERT"], num_requests=12, seed=seed),
+            lambda seed: conv_sweep_trace(["C1", "C2"], seed=seed),
+        ):
+            assert generator(7) == generator(7)
+            assert generator(7) != generator(8)
+
+    def test_arrivals_are_sorted_and_nonnegative(self):
+        trace = bursty_trace(["G1"], num_requests=20, seed=0)
+        arrivals = [request.arrival_s for request in trace.requests]
+        assert arrivals == sorted(arrivals)
+        assert all(arrival >= 0 for arrival in arrivals)
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            TraceRequest(arrival_s=0.0, kind="bogus", target="G1", m=8)
+        with pytest.raises(ValueError):
+            TraceRequest(arrival_s=0.0, kind="kernel", target="G1", m=0)
+        with pytest.raises(KeyError):
+            poisson_trace(["NOPE"], num_requests=2)
+        with pytest.raises(KeyError):
+            llm_serving_trace(["NOPE"], num_requests=2)
+
+    def test_repeat_phases_tags_and_offsets(self):
+        base = poisson_trace(["G1"], num_requests=4, seed=1)
+        phased = repeat_phases(base, ("cold", "warm"))
+        assert phased.phases() == ["cold", "warm"]
+        assert len(phased) == 2 * len(base)
+        cold = [r for r in phased.requests if r.phase == "cold"]
+        warm = [r for r in phased.requests if r.phase == "warm"]
+        assert [r.target for r in cold] == [r.target for r in warm]
+        assert warm[0].arrival_s > cold[-1].arrival_s
+
+    def test_cold_warm_trace_coverage(self):
+        base = poisson_trace(
+            ["G1", "G4"], num_requests=20, m_choices=(8, 100), seed=2
+        )
+        phased = cold_warm_trace(base, m_bins=(64, 128))
+        cold = [r for r in phased.requests if r.phase == "cold"]
+        # One coverage request per distinct (target, bin), at the bin's M.
+        assert len(cold) == len({(r.target, r.m) for r in cold})
+        assert all(r.m in (64, 128) for r in cold)
+        assert phased.metadata["cold_coverage"] == len(cold)
+        warm = [r for r in phased.requests if r.phase == "warm"]
+        assert len(warm) == len(base)
+
+    def test_scenario_trace_covers_all_scenarios(self):
+        for scenario in ("llm", "llm-bursty", "kernels", "conv"):
+            config = BenchConfig(scenario=scenario, num_requests=4, seed=1)
+            trace = scenario_trace(config)
+            assert trace.phases() == ["cold", "warm"]
+            assert len(trace) > 0
+
+
+# --------------------------------------------------------------------- #
+# BenchConfig
+# --------------------------------------------------------------------- #
+class TestBenchConfig:
+    def test_round_trip(self):
+        config = BenchConfig(
+            scenario="kernels", seed=9, concurrency=2, cache="/tmp/x"
+        )
+        payload = config.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert BenchConfig.from_dict(payload) == config
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchConfig(scenario="bogus")
+        with pytest.raises(ValueError):
+            BenchConfig(num_requests=0)
+        with pytest.raises(ValueError):
+            BenchConfig(concurrency=0)
+        with pytest.raises(ValueError):
+            BenchConfig(m_bins=())
+        with pytest.raises(ValueError):
+            BenchConfig.from_dict({"bogus_knob": 1})
+
+    def test_fuser_config_mirrors_knobs(self):
+        config = BenchConfig(device="a100", top_k=3, max_tile=64)
+        fuser = config.fuser_config()
+        assert (fuser.device, fuser.top_k, fuser.max_tile) == ("a100", 3, 64)
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+class TestLoadDriver:
+    def test_cache_provenance_counts_are_deterministic(self):
+        base = poisson_trace(
+            ["G1"], num_requests=10, m_choices=(8, 100), seed=4
+        )
+        trace = cold_warm_trace(base, m_bins=(64, 128))
+        with fast_kernel_server(m_bins=(64, 128)) as server:
+            with LoadDriver(server) as driver:
+                result = driver.replay(trace)
+        # Cold coverage compiles each distinct (target, bin) exactly once;
+        # every warm request then resolves from the kernel table.
+        cold = [r for r in result.records if r.phase == "cold"]
+        warm = [r for r in result.records if r.phase == "warm"]
+        assert [r.source for r in cold] == ["compiled"] * len(cold)
+        assert [r.source for r in warm] == ["table"] * len(warm)
+        assert result.sources() == {
+            "compiled": len(cold),
+            "table": len(warm),
+        }
+        assert not result.errors
+
+    def test_disk_cache_provenance(self, tmp_path):
+        trace = poisson_trace(["G1"], num_requests=3, m_choices=(8,), seed=0)
+        cache_dir = tmp_path / "plans"
+        with KernelServer(
+            config=FuserConfig(cache=str(cache_dir), **FAST), m_bins=(64,)
+        ) as server:
+            LoadDriver(server).replay(trace)
+        # A fresh server over the same directory starts from the disk tier.
+        with KernelServer(
+            config=FuserConfig(cache=str(cache_dir), **FAST), m_bins=(64,)
+        ) as restarted:
+            result = LoadDriver(restarted).replay(trace)
+        assert result.records[0].source == "cache:disk"
+        assert [r.source for r in result.records[1:]] == ["table", "table"]
+
+    def test_model_requests_autoregister_zoo_models(self):
+        trace = llm_serving_trace(
+            ["BERT"], num_requests=3, decode_m=(8,), prefill_fraction=0.0, seed=0
+        )
+        with ModelServer(config=FuserConfig(**FAST), m_bins=(64,)) as server:
+            with LoadDriver(server) as driver:
+                result = driver.replay(trace)
+            assert server.models() == ["BERT"]
+        assert [r.source for r in result.records] == [
+            "compiled",
+            "table",
+            "table",
+        ]
+
+    def test_kernel_only_driver_rejects_model_traces(self):
+        trace = llm_serving_trace(["BERT"], num_requests=2, seed=0)
+        with fast_kernel_server(m_bins=(64,)) as server:
+            with pytest.raises(ValueError, match="model requests"):
+                LoadDriver(server).replay(trace)
+
+    def test_concurrent_replay_matches_sequential_totals(self):
+        base = poisson_trace(["G1"], num_requests=8, m_choices=(8,), seed=1)
+        trace = cold_warm_trace(base, m_bins=(64,))
+        with fast_kernel_server(m_bins=(64,)) as server:
+            with LoadDriver(server, concurrency=4) as driver:
+                result = driver.replay(trace)
+        # Scheduling may shift which request pays the compile, but the
+        # totals are pinned: one search, everything else a hit.
+        sources = result.sources()
+        assert sources["compiled"] == 1
+        assert sum(sources.values()) == len(trace)
+        assert not result.errors
+        # Records preserve trace order regardless of completion order.
+        assert [r.index for r in result.records] == list(range(len(trace)))
+
+    def test_driver_validation(self):
+        with pytest.raises(ValueError):
+            LoadDriver(concurrency=0)
+        with pytest.raises(ValueError):
+            LoadDriver(time_scale=-1.0)
+
+    def test_unknown_kernel_target_fails_before_any_request(self):
+        bogus = Trace(
+            name="bogus",
+            seed=0,
+            requests=(
+                TraceRequest(arrival_s=0.0, kind="kernel", target="G1", m=8),
+                TraceRequest(arrival_s=0.1, kind="kernel", target="G99", m=8),
+            ),
+        )
+        with fast_kernel_server(m_bins=(64,)) as server:
+            with pytest.raises(KeyError, match="G99"):
+                LoadDriver(server).replay(bogus)
+            # Nothing was issued: the valid first request never ran either.
+            assert server.stats.requests == 0
+
+
+# --------------------------------------------------------------------- #
+# Reports
+# --------------------------------------------------------------------- #
+def _record(index, phase, wall_us, source, target="G1"):
+    return RequestRecord(
+        index=index,
+        phase=phase,
+        kind="kernel",
+        target=target,
+        m=64,
+        arrival_s=0.01 * index,
+        queue_depth=0,
+        wall_us=wall_us,
+        source=source,
+    )
+
+
+class TestPerfReport:
+    def test_percentiles(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.5
+        assert percentile(values, 99) == pytest.approx(99.01)
+        assert percentile([], 50) == 0.0
+
+    def test_report_from_replay_round_trips(self, tmp_path):
+        trace = poisson_trace(["G1"], num_requests=4, m_choices=(8,), seed=0)
+        with fast_kernel_server(m_bins=(64,)) as server:
+            result = LoadDriver(server).replay(trace)
+        report = result.report(name="unit", config={"seed": 0})
+        path = report.save(tmp_path / "report.json")
+        assert PerfReport.load(path) == report
+        payload = report.to_dict()
+        assert payload["counts"]["requests"] == 4
+        assert payload["trace"]["name"] == trace.name
+
+    def test_seeded_rerun_identical_modulo_timing(self):
+        config = BenchConfig(
+            scenario="kernels",
+            workloads=("G1",),
+            num_requests=6,
+            m_bins=(64,),
+            **FAST,
+        )
+        dicts = []
+        for _ in range(2):
+            trace = scenario_trace(config)
+            with KernelServer(
+                config=config.fuser_config(), m_bins=config.m_bins
+            ) as server:
+                result = LoadDriver(server).replay(trace)
+            report = result.report(name="rerun", config=config.to_dict())
+            assert "latency_us" in report.to_dict()  # timing is present...
+            dicts.append(report.deterministic_dict())
+        assert dicts[0] == dicts[1]  # ...but never in the deterministic view
+
+    def test_warm_cold_speedup_in_report(self):
+        records = [
+            _record(0, "cold", 500_000.0, "compiled"),
+            _record(1, "warm", 50.0, "table"),
+            _record(2, "warm", 70.0, "table"),
+        ]
+        report = PerfReport.from_records(records, name="speedup")
+        assert report.phase_speedup() == pytest.approx(500_000.0 / 60.0)
+        assert report.to_dict()["speedups"]["warm_vs_cold_p50"] == pytest.approx(
+            500_000.0 / 60.0
+        )
+
+    def test_compile_vs_serve_split(self):
+        records = [
+            _record(0, "cold", 900.0, "compiled"),
+            _record(1, "warm", 100.0, "table"),
+        ]
+        split = PerfReport.from_records(records, name="split").to_dict()["split"]
+        assert split["compile_time_us"] == 900.0
+        assert split["serve_time_us"] == 100.0
+        assert split["compile_fraction"] == 0.9
+
+    def test_compare_flags_regressions(self):
+        baseline = PerfReport.from_records(
+            [_record(0, "warm", 100.0, "table"), _record(1, "warm", 100.0, "table")],
+            name="baseline",
+        )
+        worse = PerfReport.from_records(
+            [
+                _record(0, "warm", 400.0, "compiled"),
+                _record(1, "warm", 400.0, "table"),
+            ],
+            name="worse",
+        )
+        delta = compare(baseline, worse)
+        assert delta.p50_ratio == pytest.approx(4.0)
+        assert delta.hit_rate_delta == pytest.approx(-0.5)
+        problems = delta.regressions(max_p50_ratio=2.0)
+        assert any("hit rate" in problem for problem in problems)
+        assert any("p50" in problem for problem in problems)
+        # The clean self-comparison gates green.
+        assert compare(baseline, baseline).regressions(max_p50_ratio=1.0) == []
+
+    def test_errors_gate(self):
+        ok = PerfReport.from_records([_record(0, "warm", 10.0, "table")], name="a")
+        failing_record = RequestRecord(
+            index=0,
+            phase="warm",
+            kind="kernel",
+            target="C4",
+            m=64,
+            arrival_s=0.0,
+            queue_depth=0,
+            wall_us=10.0,
+            source="error",
+            error="FusionError: infeasible",
+        )
+        bad = PerfReport.from_records(
+            [_record(0, "warm", 10.0, "table"), failing_record], name="b"
+        )
+        assert bad.errors == 1
+        assert bad.hit_rate == 1.0  # hit rate is over successes only
+        assert compare(ok, bad).regressions() != []
+        assert compare(ok, bad).regressions(allow_new_errors=True) == []

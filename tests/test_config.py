@@ -524,6 +524,10 @@ EXPECTED_EXPORTS = frozenset(
         "PlanCache",
         "ServingStats",
         "warmup_workloads",
+        "BenchConfig",
+        "LoadDriver",
+        "PerfReport",
+        "Trace",
     }
 )
 
