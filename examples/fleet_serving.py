@@ -1,0 +1,97 @@
+"""Distributed serving fleet: route, broadcast-warm, and survive a crash.
+
+Run with::
+
+    python examples/fleet_serving.py
+
+The example starts a two-worker ``ServingFleet`` — two real serving
+processes sharing one on-disk plan-cache namespace behind the
+queue-aware router — and walks the three behaviours the fleet layer adds
+over a single ``ModelServer``:
+
+1. **affinity routing**: repeated requests for one shape land on the
+   worker that already holds its kernel table entry;
+2. **warm-plan broadcast**: after worker A cold-compiles a shape, worker
+   B serves the same shape from the shared cache without ever searching —
+   visible as the dedicated ``broadcast`` provenance;
+3. **failover**: killing a worker mid-run loses nothing — its in-flight
+   requests are re-dispatched to the survivor and the dead process is
+   restarted by the health monitor.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import FleetConfig, ServingFleet
+
+#: Cheap search knobs so the demo's cold compiles finish in milliseconds.
+CONFIG = FleetConfig(workers=2, top_k=2, max_tile=64, health_interval_s=0.1)
+
+
+def main() -> None:
+    with ServingFleet(CONFIG) as fleet:
+        # 1. Affinity: one cold compile, then table hits on the same worker.
+        cold = fleet.serve("G4", m=100)
+        warm = fleet.serve("G4", m=100)
+        print(
+            f"G4 cold: worker {cold.worker}, source {cold.source}, "
+            f"{cold.latency_us / 1000:.1f} ms"
+        )
+        print(f"G4 warm: worker {warm.worker}, source {warm.source}")
+        assert warm.worker == cold.worker, "affinity must pin the shape"
+
+        # 2. Broadcast: the other replica adopts the plan from the shared
+        # cache and reports the dedicated provenance on its first serve.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if fleet.stats(timeout=5.0).broadcast_warms >= 1:
+                break
+            time.sleep(0.05)
+        other = 1 - cold.worker
+        adopted = fleet.request("G4", 100, worker=other)
+        print(
+            f"G4 on worker {other}: source {adopted.source} "
+            "(compiled once, served everywhere)"
+        )
+        assert adopted.source == "broadcast", adopted.source
+
+        # 3. Failover: pin slow compiles to worker 0, kill it mid-flight.
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda t=target: results.append(
+                    fleet.request(t, 100, worker=0)
+                ),
+                daemon=True,
+            )
+            for target in ("G7", "G8", "G9")
+        ]
+        for thread in threads:
+            thread.start()
+        while fleet.queue_depths().get(0, 0) < 3:
+            time.sleep(0.01)
+        fleet.kill_worker(0)
+        for thread in threads:
+            thread.join(timeout=120.0)
+        survivors = {response.worker for response in results}
+        print(
+            f"after killing worker 0: {len(results)} responses, "
+            f"{sum(r.ok for r in results)} ok, served by workers {survivors}"
+        )
+        assert all(response.ok for response in results), "requests were lost"
+
+        stats = fleet.stats().to_dict()
+        router = stats["router"]
+        print(
+            f"fleet stats: routed {router['routed']}, "
+            f"restarts {router['restarts']}, "
+            f"broadcast warms {router['broadcast_warms']}, "
+            f"alive {stats['alive']}/{stats['workers']}"
+        )
+        assert router["restarts"] >= 1
+
+
+if __name__ == "__main__":
+    main()

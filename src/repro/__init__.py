@@ -61,6 +61,7 @@ from repro.bench import (
     PerfReport,
     Trace,
 )
+from repro.fleet import FleetConfig, FleetStats, ServingFleet
 
 __all__ = [
     "CompiledKernel",
@@ -99,6 +100,9 @@ __all__ = [
     "LoadDriver",
     "PerfReport",
     "Trace",
+    "FleetConfig",
+    "FleetStats",
+    "ServingFleet",
 ]
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"

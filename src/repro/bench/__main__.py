@@ -6,13 +6,22 @@ stack, writes the :class:`~repro.bench.report.PerfReport` JSON, and prints a
 short summary.  With ``--baseline`` the fresh report is additionally diffed
 against a stored one and deterministic regressions (hit rate, errors) fail
 the run — the CI benchmarks job uses exactly this entry point.
+
+The ``fleet`` scenario replays against a multi-process
+:class:`~repro.fleet.router.ServingFleet` instead; ``--workers`` takes one
+or more worker counts, one report is written per count (``_w{n}`` inserted
+before the output suffix), and a scaling summary compares their
+throughputs — the committed ``BENCH_fleet_w*.json`` artifacts are exactly
+this loop's output.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
 
 from repro.bench.config import SCENARIOS, BenchConfig
 from repro.bench.driver import LoadDriver
@@ -42,6 +51,43 @@ def run(config: BenchConfig, *, name: str = "bench") -> PerfReport:
         ) as driver:
             result = driver.replay(trace)
     return result.report(name=name, config=config.to_dict())
+
+
+def run_fleet(config: BenchConfig, *, name: Optional[str] = None) -> PerfReport:
+    """Replay ``config``'s scenario against a fresh serving fleet.
+
+    The fleet runs ``config.workers`` worker processes over a fresh shared
+    plan-cache namespace (unless ``config.cache`` pins one); the driver's
+    ``concurrency`` threads feed the router, so distinct cold compiles
+    spread across workers while same-shape requests keep their affinity.
+    The fleet's :class:`~repro.fleet.stats.FleetStats` snapshot is attached
+    to the report under the ``fleet`` key.
+    """
+    from repro.fleet.router import ServingFleet
+
+    trace = scenario_trace(config)
+    with ServingFleet(config.fleet_config()) as fleet:
+        with LoadDriver(
+            fleet, concurrency=config.concurrency, time_scale=config.time_scale
+        ) as driver:
+            result = driver.replay(trace)
+        stats = fleet.stats()
+    fleet_block = stats.to_dict()
+    # Compiles are CPU-bound, so wall-clock scaling is capped at
+    # min(workers, cores); record the host's core count so a flat curve
+    # from a core-starved runner explains itself in the artifact.
+    fleet_block["host_cpus"] = os.cpu_count()
+    return result.report(
+        name=name or f"fleet-w{config.workers}",
+        config=config.to_dict(),
+        fleet=fleet_block,
+    )
+
+
+def _worker_output(path: str, workers: int) -> str:
+    """``BENCH_fleet.json`` + 4 workers -> ``BENCH_fleet_w4.json``."""
+    base = Path(path)
+    return str(base.with_name(f"{base.stem}_w{workers}{base.suffix}"))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -91,6 +137,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="plan-cache directory (omit for a genuinely cold cold-phase)",
     )
     parser.add_argument(
+        "--workers",
+        nargs="+",
+        type=int,
+        default=[1],
+        help="fleet scenario only: worker counts to run, one report per "
+        "count (e.g. --workers 1 2 4 produces a scaling curve)",
+    )
+    parser.add_argument(
         "--output",
         default=DEFAULT_OUTPUT,
         help=f"report JSON path (default: {DEFAULT_OUTPUT})",
@@ -107,6 +161,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="optional timing gate for --baseline: fail when the new p50 "
         "exceeds baseline p50 by this factor",
+    )
+    parser.add_argument(
+        "--max-hit-rate-drop",
+        type=float,
+        default=0.0,
+        help="tolerated cache hit-rate drop vs --baseline (fraction; "
+        "fleet replays race duplicate compiles, so their gate needs a "
+        "small allowance)",
     )
     args = parser.parse_args(argv)
 
@@ -127,11 +189,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Fail early on an unknown device instead of mid-replay.
     FuserConfig(device=config.device).resolve_device()
 
-    report = run(config)
-    path = report.save(args.output)
-    for line in report.summary_lines():
-        print(line)
-    print(f"wrote {path}")
+    if config.scenario == "fleet":
+        runs: List[Tuple[int, PerfReport]] = []
+        for workers in args.workers:
+            report = run_fleet(config.replace(workers=workers))
+            output = (
+                _worker_output(args.output, workers)
+                if len(args.workers) > 1
+                else args.output
+            )
+            path = report.save(output)
+            for line in report.summary_lines():
+                print(line)
+            fleet_block = report.payload.get("fleet", {})
+            router = fleet_block.get("router", {})
+            print(
+                f"  fleet: {workers} worker(s), "
+                f"{router.get('restarts', 0)} restart(s), "
+                f"{router.get('broadcast_warms', 0)} broadcast warm(s)"
+            )
+            print(f"wrote {path}")
+            runs.append((workers, report))
+        if len(runs) > 1:
+            base_workers, base_report = runs[0]
+            print("scaling curve (throughput vs "
+                  f"{base_workers} worker(s)):")
+            for workers, report in runs:
+                ratio = (
+                    report.throughput_rps / base_report.throughput_rps
+                    if base_report.throughput_rps > 0
+                    else 0.0
+                )
+                print(
+                    f"  w={workers}: {report.throughput_rps:.1f} req/s "
+                    f"({ratio:.2f}x)"
+                )
+            host_cpus = os.cpu_count() or 1
+            if host_cpus < max(workers for workers, _ in runs):
+                print(
+                    f"  note: host has {host_cpus} core(s); compile "
+                    "throughput scaling is capped at min(workers, cores)"
+                )
+        report = runs[-1][1]
+    else:
+        report = run(config)
+        path = report.save(args.output)
+        for line in report.summary_lines():
+            print(line)
+        print(f"wrote {path}")
 
     if args.baseline is not None:
         baseline = PerfReport.load(args.baseline)
@@ -142,7 +247,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"hit-rate delta {delta.hit_rate_delta:+.1%}, "
             f"errors {delta.error_delta:+d}"
         )
-        problems = delta.regressions(max_p50_ratio=args.max_p50_ratio)
+        problems = delta.regressions(
+            max_p50_ratio=args.max_p50_ratio,
+            max_hit_rate_drop=args.max_hit_rate_drop,
+        )
         if problems:
             for problem in problems:
                 print(f"REGRESSION: {problem}", file=sys.stderr)

@@ -17,7 +17,7 @@ from typing import Dict, Mapping, Optional, Tuple, Union
 from repro.config import FuserConfig
 
 #: Scenario names understood by :func:`repro.bench.scenario_trace`.
-SCENARIOS: Tuple[str, ...] = ("llm", "llm-bursty", "kernels", "conv")
+SCENARIOS: Tuple[str, ...] = ("llm", "llm-bursty", "kernels", "conv", "fleet")
 
 
 @dataclass(frozen=True)
@@ -30,7 +30,10 @@ class BenchConfig:
         Which trace generator to run: ``"llm"`` (Poisson prefill/decode mix
         over the model zoo), ``"llm-bursty"`` (the same mix under bursty
         arrivals), ``"kernels"`` (Poisson kernel requests over workload
-        ids) or ``"conv"`` (deterministic conv-chain sweep).
+        ids), ``"conv"`` (deterministic conv-chain sweep) or ``"fleet"``
+        (the bursty LLM mix replayed against a multi-worker
+        :class:`~repro.fleet.router.ServingFleet` instead of one
+        in-process stack).
     seed:
         RNG seed for the trace generator — the whole run is reproducible
         from this config value.
@@ -61,6 +64,9 @@ class BenchConfig:
         :class:`~repro.config.FuserConfig` (``cache`` is a plan-cache
         directory, or ``None`` to serve from a fresh in-process state so
         the cold phase is genuinely cold).
+    workers:
+        Worker-process count of the serving fleet (``fleet`` scenario
+        only; the single-process scenarios ignore it).
 
     Example
     -------
@@ -83,6 +89,7 @@ class BenchConfig:
     top_k: int = 5
     max_tile: int = 128
     cache: Optional[Union[str, os.PathLike]] = None
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
@@ -100,6 +107,8 @@ class BenchConfig:
         object.__setattr__(self, "m_bins", tuple(self.m_bins))
         if not self.m_bins or any(m <= 0 for m in self.m_bins):
             raise ValueError("m_bins must be non-empty and positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
     # ------------------------------------------------------------------ #
     # Derivation
@@ -117,6 +126,25 @@ class BenchConfig:
             top_k=self.top_k,
             max_tile=self.max_tile,
             cache=self.cache,
+        )
+
+    def fleet_config(self) -> "FleetConfig":
+        """The :class:`~repro.fleet.config.FleetConfig` for a fleet run.
+
+        Maps this benchmark's compiler knobs and M bins onto a fleet of
+        ``workers`` processes; ``cache`` becomes the fleet's shared
+        plan-cache namespace (``None`` keeps the fleet's own temporary
+        namespace, so cold phases stay genuinely cold).
+        """
+        from repro.fleet.config import FleetConfig  # local: avoids a cycle
+
+        return FleetConfig(
+            workers=self.workers,
+            cache_dir=self.cache,
+            m_bins=self.m_bins,
+            device=self.device,
+            top_k=self.top_k,
+            max_tile=self.max_tile,
         )
 
     # ------------------------------------------------------------------ #
@@ -137,6 +165,7 @@ class BenchConfig:
             "top_k": self.top_k,
             "max_tile": self.max_tile,
             "cache": None if self.cache is None else os.fspath(self.cache),
+            "workers": self.workers,
         }
 
     @classmethod

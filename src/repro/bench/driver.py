@@ -1,14 +1,17 @@
 """Trace replay against the serving stack.
 
 :class:`LoadDriver` replays a :class:`~repro.bench.traces.Trace` against a
-live :class:`~repro.runtime.server.KernelServer` and/or
-:class:`~repro.graphs.server.ModelServer` through the ordinary request path
+live :class:`~repro.runtime.server.KernelServer`,
+:class:`~repro.graphs.server.ModelServer`, or multi-process
+:class:`~repro.fleet.router.ServingFleet` through the ordinary request path
 — kernel requests resolve *table → plan cache → compile* exactly like
 production traffic, model requests additionally run chain extraction and
-plan assembly.  Nothing is mocked: a cold replay really pays the fusion
-search, a warm replay really hits the tables, and the per-request
-:class:`RequestRecord` stream captures what actually happened (wall clock,
-resolution source, queue depth at dispatch).
+plan assembly, and fleet requests additionally traverse the router
+(admission control, affinity dispatch, failover).  Nothing is mocked: a
+cold replay really pays the fusion search, a warm replay really hits the
+tables, and the per-request :class:`RequestRecord` stream captures what
+actually happened (wall clock, resolution source, queue depth at
+dispatch).
 
 With ``concurrency=1`` (the default) requests execute strictly in trace
 order on the calling thread, which makes cache-provenance counts
@@ -112,12 +115,14 @@ class LoadDriver:
     ----------
     server:
         The serving stack under test: a :class:`KernelServer`, a
-        :class:`ModelServer`, or ``None`` to build a fresh
-        :class:`ModelServer` from ``server_kwargs`` (which must not be
-        combined with an explicit ``server``).  A :class:`ModelServer`
-        serves both request kinds — kernel requests route to its backing
-        kernel server; a bare :class:`KernelServer` serves kernel requests
-        only.
+        :class:`ModelServer`, a started
+        :class:`~repro.fleet.router.ServingFleet`, or ``None`` to build a
+        fresh :class:`ModelServer` from ``server_kwargs`` (which must not
+        be combined with an explicit ``server``).  A :class:`ModelServer`
+        or fleet serves both request kinds — kernel requests route to the
+        backing kernel server(s); a bare :class:`KernelServer` serves
+        kernel requests only.  A fleet is *borrowed*: the driver replays
+        through it but never closes it.
     concurrency:
         Worker threads dispatching requests (1 replays inline, in order).
     time_scale:
@@ -151,12 +156,19 @@ class LoadDriver:
             raise ValueError("concurrency must be >= 1")
         if time_scale < 0:
             raise ValueError("time_scale must be non-negative")
+        from repro.fleet.router import ServingFleet  # local: avoids a cycle
+
         self._owns_server = server is None
         if server is None:
             server = ModelServer(**server_kwargs)
-        if isinstance(server, ModelServer):
-            self.models: Optional[ModelServer] = server
-            self.kernels: KernelServer = server.server
+        self.fleet: Optional[ServingFleet] = None
+        if isinstance(server, ServingFleet):
+            self.fleet = server
+            self.models: Optional[ModelServer] = None
+            self.kernels: Optional[KernelServer] = None
+        elif isinstance(server, ModelServer):
+            self.models = server
+            self.kernels = server.server
         else:
             self.models = None
             self.kernels = server
@@ -220,6 +232,12 @@ class LoadDriver:
             for request in trace.requests
             if request.kind == KIND_MODEL
         }
+        if self.fleet is not None:
+            # Fleet workers register zoo models on demand; only vet names.
+            for target in sorted(model_targets):
+                if target not in MODEL_ZOO:
+                    raise KeyError(f"model {target!r} is not in the zoo")
+            return
         if model_targets and self.models is None:
             raise ValueError(
                 "trace contains model requests but the driver wraps a bare "
@@ -241,8 +259,16 @@ class LoadDriver:
         inflight = 0
         futures: List[Future[RequestRecord]] = []
 
-        def run(index: int, request: TraceRequest, depth: int) -> RequestRecord:
+        def run(index: int, request: TraceRequest) -> RequestRecord:
+            # Sample the depth at *issue* time, on the worker thread, in the
+            # same critical section that registers this request — sampling
+            # at submit time (the old behaviour) counted pool-queued
+            # requests that had not started and missed ones that finished
+            # while this one sat in the pool queue.
             nonlocal inflight
+            with inflight_lock:
+                depth = inflight
+                inflight += 1
             try:
                 return self._issue(index, request, start, queue_depth=depth)
             finally:
@@ -254,10 +280,7 @@ class LoadDriver:
         ) as pool:
             for index, request in enumerate(trace.requests):
                 self._pace(request, start)
-                with inflight_lock:
-                    depth = inflight
-                    inflight += 1
-                futures.append(pool.submit(run, index, request, depth))
+                futures.append(pool.submit(run, index, request))
             records = [future.result() for future in futures]
         return records
 
@@ -278,7 +301,20 @@ class LoadDriver:
         source = "error"
         error: Optional[str] = None
         try:
-            if request.kind == KIND_KERNEL:
+            if self.fleet is not None:
+                fleet_response = self.fleet.serve(
+                    request.target, request.m, kind=request.kind
+                )
+                if fleet_response.source is not None:
+                    source = fleet_response.source
+                if fleet_response.rejected:
+                    error = (
+                        "rejected: fleet admission watermark "
+                        f"(retry after {fleet_response.retry_after_s:.3f}s)"
+                    )
+                else:
+                    error = fleet_response.error
+            elif request.kind == KIND_KERNEL:
                 response = self.kernels.request(request.target, request.m)
                 source = response.source
             else:

@@ -34,6 +34,9 @@ TIMING_KEYS = (
     "queue_depth",
     "split",
     "speedups",
+    # The fleet block (router counters, per-worker depths) depends on how
+    # requests raced across workers, so it is timing-dependent too.
+    "fleet",
 )
 
 
@@ -144,8 +147,15 @@ class PerfReport:
         *,
         name: str = "replay",
         config: Optional[Mapping[str, object]] = None,
+        fleet: Optional[Mapping[str, object]] = None,
     ) -> "PerfReport":
-        """Aggregate a :class:`~repro.bench.driver.ReplayResult`."""
+        """Aggregate a :class:`~repro.bench.driver.ReplayResult`.
+
+        ``fleet`` optionally attaches a
+        :meth:`~repro.fleet.stats.FleetStats.to_dict` snapshot of the
+        serving fleet the replay ran against (stored under the timing keys,
+        since router counters depend on request interleaving).
+        """
         return cls.from_records(
             result.records,
             name=name,
@@ -158,6 +168,7 @@ class PerfReport:
             duration_s=result.elapsed_s,
             concurrency=result.concurrency,
             config=config,
+            fleet=fleet,
         )
 
     @classmethod
@@ -170,6 +181,7 @@ class PerfReport:
         duration_s: Optional[float] = None,
         concurrency: int = 1,
         config: Optional[Mapping[str, object]] = None,
+        fleet: Optional[Mapping[str, object]] = None,
     ) -> "PerfReport":
         """Aggregate raw request records into a report."""
         ok = [record for record in records if record.ok]
@@ -226,6 +238,8 @@ class PerfReport:
             },
             "speedups": cls._speedups(phase_blocks),
         }
+        if fleet is not None:
+            payload["fleet"] = dict(fleet)
         return cls(payload)
 
     @staticmethod

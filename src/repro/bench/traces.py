@@ -626,7 +626,10 @@ def scenario_trace(config: "BenchConfig") -> Trace:
     """
     largest_bin = max(config.m_bins)
     smallest_bin = min(config.m_bins)
-    if config.scenario in ("llm", "llm-bursty"):
+    if config.scenario in ("llm", "llm-bursty", "fleet"):
+        # "fleet" replays the bursty LLM mix — the generator is shared; the
+        # scenarios differ in what serves the trace (one in-process stack
+        # vs a multi-worker ServingFleet), which __main__ decides.
         base = llm_serving_trace(
             config.models,
             num_requests=config.num_requests,
@@ -636,7 +639,7 @@ def scenario_trace(config: "BenchConfig") -> Trace:
             decode_m=tuple(
                 sorted({max(1, smallest_bin // 8), smallest_bin // 2 or 1, smallest_bin})
             ),
-            bursty=config.scenario == "llm-bursty",
+            bursty=config.scenario != "llm",
             seed=config.seed,
             name=config.scenario,
         )

@@ -1,0 +1,34 @@
+"""Distributed serving fleet: router, workers, replication, failover.
+
+The :mod:`repro.fleet` package scales the single-process serving stack
+(:class:`~repro.runtime.server.KernelServer` /
+:class:`~repro.graphs.server.ModelServer`) out to N worker processes
+behind one :class:`~repro.fleet.router.FleetRouter`:
+
+* :mod:`repro.fleet.config` — :class:`FleetConfig`, the one frozen value
+  describing a deployment (worker count, shared cache namespace,
+  admission watermark, failover budget, compiler knobs);
+* :mod:`repro.fleet.worker` — the worker process entry point: a real
+  serving stack consuming a task queue, plus the ``broadcast`` plan
+  provenance;
+* :mod:`repro.fleet.router` — :class:`ServingFleet` (lifecycle, request
+  path, admission control, health/failover) and :class:`FleetRouter`
+  (the pure consistent-hash + least-loaded dispatch policy);
+* :mod:`repro.fleet.stats` — :class:`FleetStats`, the merged
+  router + per-worker observability snapshot.
+"""
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.router import FleetResponse, FleetRouter, ServingFleet
+from repro.fleet.stats import FleetStats
+from repro.fleet.worker import SOURCE_BROADCAST, FleetWorker
+
+__all__ = [
+    "FleetConfig",
+    "FleetResponse",
+    "FleetRouter",
+    "FleetStats",
+    "FleetWorker",
+    "ServingFleet",
+    "SOURCE_BROADCAST",
+]

@@ -1,0 +1,241 @@
+"""Fleet worker process: a real serving stack behind two queues.
+
+Each fleet worker is an ordinary OS process running
+:func:`worker_main` — it hosts a real
+:class:`~repro.graphs.server.ModelServer` (and therefore a real
+:class:`~repro.runtime.server.KernelServer`) whose plan cache points at the
+fleet's shared on-disk namespace, consumes tasks from its private task
+queue, and answers on the fleet-wide result queue.  Nothing is mocked: a
+cold request inside a worker runs the full fusion search; a warm one hits
+the worker's kernel tables.
+
+The queue protocol is deliberately tiny (plain tuples of primitives):
+
+Task queue (router -> worker)
+    ``("serve", req_id, kind, target, m)`` — serve one request.
+    ``("warm", kind, target, m)`` — adopt a plan from the shared cache
+    (the warm-plan broadcast; no fusion search ever runs).
+    ``("stats", token)`` — snapshot and report this worker's metrics.
+    ``("stop",)`` — drain and exit.
+
+Result queue (worker -> router)
+    ``("ready", worker_id, incarnation)`` — serving stack is built.
+    ``("result", worker_id, incarnation, req_id, payload)`` — one answer;
+    ``payload`` carries source/latency/bin/error.
+    ``("compiled", worker_id, incarnation, kind, target, m)`` — this worker
+    just cold-compiled; the router fans this out as ``warm`` tasks.
+    ``("stats", worker_id, incarnation, token, payload)`` — metrics reply.
+
+Provenance: when a request is served from a table entry that arrived via
+the broadcast channel (rather than this worker's own compile), its first
+serve reports the dedicated source :data:`SOURCE_BROADCAST` — that is how
+"worker B served the shape worker A compiled" stays visible all the way up
+into :class:`~repro.bench.report.PerfReport` source histograms.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Set, Tuple
+
+from repro.bench.traces import KIND_KERNEL, KIND_MODEL
+from repro.errors import FusionError
+from repro.fleet.config import FleetConfig
+from repro.graphs.server import ModelServer
+from repro.ir.workloads import MODEL_ZOO
+from repro.runtime.server import SOURCE_COMPILED
+
+#: Resolution source reported for the first serve from a broadcast-warmed
+#: table entry: the shape was cold-compiled by a *different* worker and
+#: adopted through the shared plan cache.
+SOURCE_BROADCAST = "broadcast"
+
+
+class FleetWorker:
+    """The serving loop body of one fleet worker process.
+
+    Parameters
+    ----------
+    worker_id:
+        This worker's fleet-wide index.
+    incarnation:
+        Restart generation (0 for the original process); echoed on every
+        message so the router can discard stragglers from dead processes.
+    config:
+        The fleet's :class:`~repro.fleet.config.FleetConfig`.
+    cache_dir:
+        Concrete shared plan-cache directory (already resolved by the
+        fleet, so workers never have to agree on a default).
+
+    The class is separable from the process entry point so tests can drive
+    one in-process; production always runs it via :func:`worker_main`.
+
+    Example
+    -------
+    ::
+
+        worker = FleetWorker(0, 0, FleetConfig(), cache_dir="/tmp/ns")
+        payload = worker.serve("kernel", "G4", 64)
+        print(payload["source"])                 # 'compiled'
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        incarnation: int,
+        config: FleetConfig,
+        cache_dir: str,
+    ) -> None:
+        self.worker_id = worker_id
+        self.incarnation = incarnation
+        self.config = config
+        self.server = ModelServer(
+            config=config.fuser_config(cache_dir), m_bins=config.m_bins
+        )
+        self.kernels = self.server.server
+        #: (kind, target, bin) table entries adopted via broadcast whose
+        #: first serve has not happened yet.
+        self._warmed: Set[Tuple[str, str, int]] = set()
+        self.broadcast_warms = 0
+
+    # ------------------------------------------------------------------ #
+    # Task handlers
+    # ------------------------------------------------------------------ #
+    def serve(self, kind: str, target: str, m: int) -> Dict[str, object]:
+        """Serve one request; returns the wire payload (never raises)."""
+        start = time.perf_counter()
+        source: Optional[str] = None
+        bin_m = 0
+        error: Optional[str] = None
+        compiled = False
+        try:
+            if kind == KIND_KERNEL:
+                response = self.kernels.request(target, m)
+                source = response.source
+                bin_m = response.bin_m
+            elif kind == KIND_MODEL:
+                self._ensure_model(target)
+                model_response = self.server.serve(target, m=m)
+                source = model_response.source
+                bin_m = self.kernels.bin_for(m)
+            else:
+                error = f"unknown request kind {kind!r}"
+        except FusionError as exc:
+            error = f"FusionError: {exc}"
+        except Exception as exc:  # noqa: BLE001 — workers must not die mid-serve
+            error = f"{type(exc).__name__}: {exc}"
+        if source is not None:
+            compiled = source == SOURCE_COMPILED
+            warmed_key = (kind, target, bin_m)
+            if not compiled and warmed_key in self._warmed:
+                self._warmed.discard(warmed_key)
+                source = SOURCE_BROADCAST
+        return {
+            "source": source,
+            "bin_m": bin_m,
+            "latency_us": (time.perf_counter() - start) * 1e6,
+            "compiled": compiled,
+            "error": error,
+        }
+
+    def warm(self, kind: str, target: str, m: int) -> bool:
+        """Adopt a broadcast plan from the shared cache (no search)."""
+        try:
+            if kind == KIND_KERNEL:
+                adopted = self.kernels.warm_from_cache(target, m) is not None
+            elif kind == KIND_MODEL:
+                self._ensure_model(target)
+                adopted = self.server.warm_from_cache(target, m=m) > 0
+            else:
+                return False
+        except (FusionError, KeyError, ValueError):
+            return False
+        if adopted:
+            self._warmed.add((kind, target, self.kernels.bin_for(m)))
+            self.broadcast_warms += 1
+        return adopted
+
+    def stats_payload(self) -> Dict[str, object]:
+        """This worker's metrics, as plain JSON-able data."""
+        payload: Dict[str, object] = {
+            "worker": self.worker_id,
+            "incarnation": self.incarnation,
+            "broadcast_warms": self.broadcast_warms,
+            "serving": self.kernels.stats.to_dict(),
+            "models": self.server.stats.to_dict(),
+        }
+        if self.kernels.cache is not None:
+            payload["cache"] = self.kernels.cache.stats.snapshot()
+        return payload
+
+    def close(self) -> None:
+        """Release the serving stack's pools."""
+        self.server.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _ensure_model(self, target: str) -> None:
+        if target in self.server.models():
+            return
+        if target not in MODEL_ZOO:
+            raise KeyError(f"model {target!r} is not in the zoo")
+        self.server.register(target, target)
+
+
+def worker_main(
+    worker_id: int,
+    incarnation: int,
+    config_payload: Dict[str, object],
+    cache_dir: str,
+    task_queue,
+    result_queue,
+) -> None:
+    """Process entry point: build the stack, then serve until ``stop``.
+
+    Parameters
+    ----------
+    worker_id, incarnation:
+        Identity echoed on every outgoing message.
+    config_payload:
+        ``FleetConfig.to_dict()`` (crossing the spawn boundary as data).
+    cache_dir:
+        Shared plan-cache directory.
+    task_queue, result_queue:
+        The ``multiprocessing`` queues described in the module docstring.
+    """
+    config = FleetConfig.from_dict(config_payload)
+    worker = FleetWorker(worker_id, incarnation, config, cache_dir)
+    result_queue.put(("ready", worker_id, incarnation))
+    try:
+        while True:
+            task = task_queue.get()
+            op = task[0]
+            if op == "stop":
+                break
+            if op == "serve":
+                _, req_id, kind, target, m = task
+                payload = worker.serve(kind, target, m)
+                if payload.pop("compiled"):
+                    result_queue.put(
+                        ("compiled", worker_id, incarnation, kind, target, m)
+                    )
+                result_queue.put(
+                    ("result", worker_id, incarnation, req_id, payload)
+                )
+            elif op == "warm":
+                _, kind, target, m = task
+                worker.warm(kind, target, m)
+            elif op == "stats":
+                _, token = task
+                result_queue.put(
+                    (
+                        "stats",
+                        worker_id,
+                        incarnation,
+                        token,
+                        worker.stats_payload(),
+                    )
+                )
+    finally:
+        worker.close()

@@ -373,6 +373,9 @@ class PlanCache:
             if disk and self.directory is not None and self.directory.exists():
                 for path in self.directory.glob("*.json"):
                     path.unlink(missing_ok=True)
+                # Also sweep staging leftovers from writers that died mid-write.
+                for path in self.directory.glob("*.tmp.*"):
+                    path.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -402,10 +405,30 @@ class PlanCache:
         return PlanCacheEntry.from_json(blob)
 
     def _write_disk(self, key: str, entry: PlanCacheEntry) -> None:
+        """Atomically publish one entry to the shared disk store.
+
+        Fleet workers point several *processes* at one directory, so the
+        write path must guarantee that a reader never observes a torn file
+        and that concurrent same-key writers cannot corrupt each other:
+
+        * each writer stages into its own temp file (unique per process and
+          thread), flushed and fsynced before publication;
+        * publication is a single atomic ``os.replace`` — racing same-key
+          writers simply take turns being the visible version, and both
+          versions deserialize to equivalent plans;
+        * a writer that fails mid-stage removes its temp file and leaves the
+          previously published version untouched.
+        """
         assert self.directory is not None
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._disk_path(key)
-        # Write-then-rename keeps concurrent readers from seeing torn files.
         tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
-        tmp.write_text(entry.to_json(), encoding="utf-8")
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(entry.to_json())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise

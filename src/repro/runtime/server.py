@@ -258,6 +258,50 @@ class KernelServer:
                 existing.kernels.update(table.kernels)
         return report
 
+    def warm_from_cache(
+        self,
+        request: Union[str, CompileRequest],
+        m: Optional[int] = None,
+    ) -> Optional[str]:
+        """Warm one table entry from the plan cache *without* compiling.
+
+        Resolves ``request`` (same forms as :meth:`request`) through the
+        plan cache only: when the binned chain's entry exists in either
+        cache tier, the rehydrated kernel is inserted into the kernel table
+        and the serving tier it came from (``cache:memory``/``cache:disk``)
+        is returned; otherwise ``None`` — no fusion search ever runs and no
+        request is recorded in :attr:`stats`.
+
+        This is the fleet's warm-plan broadcast primitive: after one worker
+        cold-compiles a shape into the shared disk cache, every replica
+        calls this to adopt the plan without paying the compile cliff.
+
+        Example
+        -------
+        ::
+
+            server_b.warm_from_cache("G4", 128)   # after A compiled G4/128
+            server_b.request("G4", 100).source    # 'table'
+        """
+        key, base, runtime_m, overrides = self._parse_request(request, m)
+        bin_m = self.bin_for(runtime_m)
+        config = self.compiler.config.replace(**overrides)
+        cache = self.compiler._cache_for(config)
+        if cache is None:
+            return None
+        binned = base.scaled(m=bin_m, name=f"{base.name}_m{bin_m}")
+        cache_key = cache.key_for(
+            binned, self.compiler._device_for(config), config.cache_key_fields()
+        )
+        tier = cache.tier_of(cache_key)
+        kernel = cache.load_kernel(cache_key, chain=binned)
+        if kernel is None:
+            return None
+        with self._lock:
+            table = self._tables.setdefault(key, KernelTable(chain=base))
+            table.kernels.setdefault(bin_m, kernel)
+        return SOURCE_CACHE_MEMORY if tier == TIER_MEMORY else SOURCE_CACHE_DISK
+
     def close(self) -> None:
         """Release compiler-held worker pools (idempotent).
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import threading
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Mapping
 
 
 @dataclass
@@ -38,6 +38,15 @@ class LatencySummary:
         """Average latency, 0.0 before any observation."""
         return self.total_us / self.count if self.count else 0.0
 
+    def merge(self, other: "LatencySummary") -> "LatencySummary":
+        """Fold ``other``'s observations into this aggregate (returns self)."""
+        if other.count:
+            self.count += other.count
+            self.total_us += other.total_us
+            self.min_us = min(self.min_us, other.min_us)
+            self.max_us = max(self.max_us, other.max_us)
+        return self
+
     def snapshot(self) -> Dict[str, float]:
         """Plain-dictionary view of the aggregate."""
         return {
@@ -46,6 +55,18 @@ class LatencySummary:
             "min_us": self.min_us if self.count else 0.0,
             "max_us": self.max_us,
         }
+
+    @classmethod
+    def from_snapshot(cls, payload: Mapping[str, float]) -> "LatencySummary":
+        """Rebuild an aggregate from its :meth:`snapshot` form."""
+        count = int(payload["count"])
+        mean_us = float(payload["mean_us"])
+        return cls(
+            count=count,
+            total_us=mean_us * count,
+            min_us=float(payload["min_us"]) if count else float("inf"),
+            max_us=float(payload["max_us"]),
+        )
 
 
 class ServingStats:
@@ -106,6 +127,88 @@ class ServingStats:
     def hit_rate(self) -> float:
         """Fraction of requests served without a search (0.0 when idle)."""
         return self.hits / self.requests if self.requests else 0.0
+
+    def merge(self, other: "ServingStats") -> "ServingStats":
+        """Fold ``other``'s counters into this sink (returns self).
+
+        This is how fleet-level aggregation works: each worker process keeps
+        its own :class:`ServingStats` and the fleet merges the per-worker
+        sinks into one view instead of doing ad-hoc dictionary math.  Counts
+        add, per-source/per-workload histograms union, and latency summaries
+        combine exactly (count/total/min/max compose losslessly).  ``other``
+        is read under its own lock, so merging a live sink is safe.
+
+        Example
+        -------
+        >>> a, b = ServingStats(), ServingStats()
+        >>> a.record_request("G4", "compiled", 900.0)
+        >>> b.record_request("G4", "table", 30.0)
+        >>> merged = a.merge(b)
+        >>> merged.requests, merged.hit_rate()
+        (2, 0.5)
+        """
+        if other is self:
+            raise ValueError("cannot merge a ServingStats into itself")
+        with other._lock:
+            other_requests = other.requests
+            other_by_source = Counter(other.by_source)
+            other_by_workload = Counter(other.by_workload)
+            other_latency = {
+                source: LatencySummary(
+                    count=summary.count,
+                    total_us=summary.total_us,
+                    min_us=summary.min_us,
+                    max_us=summary.max_us,
+                )
+                for source, summary in other.latency.items()
+            }
+            other_overall = LatencySummary(
+                count=other.overall_latency.count,
+                total_us=other.overall_latency.total_us,
+                min_us=other.overall_latency.min_us,
+                max_us=other.overall_latency.max_us,
+            )
+        with self._lock:
+            self.requests += other_requests
+            self.by_source.update(other_by_source)
+            self.by_workload.update(other_by_workload)
+            for source, summary in other_latency.items():
+                self.latency.setdefault(source, LatencySummary()).merge(summary)
+            self.overall_latency.merge(other_overall)
+        return self
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ServingStats":
+        """Rebuild a sink from its :meth:`to_dict` form.
+
+        The round trip is exact — ``ServingStats.from_dict(s.to_dict())``
+        serializes identically to ``s`` — which is what lets worker
+        processes ship their stats across a process boundary as plain JSON
+        and still :meth:`merge` them like live objects.
+
+        Example
+        -------
+        >>> stats = ServingStats()
+        >>> stats.record_request("G4", "table", 42.0)
+        >>> ServingStats.from_dict(stats.to_dict()).to_dict() == stats.to_dict()
+        True
+        """
+        stats = cls()
+        stats.requests = int(payload["requests"])
+        stats.by_source = Counter(
+            {str(k): int(v) for k, v in dict(payload["by_source"]).items()}
+        )
+        stats.by_workload = Counter(
+            {str(k): int(v) for k, v in dict(payload["by_workload"]).items()}
+        )
+        stats.latency = {
+            str(source): LatencySummary.from_snapshot(summary)
+            for source, summary in dict(payload["latency_us"]).items()
+        }
+        stats.overall_latency = LatencySummary.from_snapshot(
+            payload["overall_latency_us"]
+        )
+        return stats
 
     def to_dict(self) -> Dict[str, object]:
         """Every counter and latency aggregate, with a stable key order.

@@ -528,6 +528,9 @@ EXPECTED_EXPORTS = frozenset(
         "LoadDriver",
         "PerfReport",
         "Trace",
+        "FleetConfig",
+        "FleetStats",
+        "ServingFleet",
     }
 )
 

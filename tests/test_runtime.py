@@ -186,6 +186,46 @@ class TestPlanCache:
         with pytest.raises(ValueError):
             PlanCache(directory=target)
 
+    def test_concurrent_same_key_writers_leave_valid_entry(
+        self, tmp_path, compiled_small
+    ):
+        # Multi-process safety satellite: writers go through a private
+        # temp file + atomic os.replace, so same-key racers can interleave
+        # freely — the final file is always one writer's complete JSON.
+        import threading
+
+        entry = PlanCacheEntry.from_kernel("shared-key", compiled_small)
+        caches = [PlanCache(directory=tmp_path) for _ in range(4)]
+        barrier = threading.Barrier(len(caches))
+
+        def hammer(cache):
+            barrier.wait()
+            for _ in range(10):
+                cache.put("shared-key", entry)
+
+        threads = [
+            threading.Thread(target=hammer, args=(cache,)) for cache in caches
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "shared-key.json"
+        ]  # no temp-file debris
+        reloaded = PlanCache(directory=tmp_path)
+        loaded = reloaded.get("shared-key")
+        assert loaded is not None
+        assert loaded.rehydrate().plan.summary() == compiled_small.plan.summary()
+
+    def test_clear_sweeps_orphaned_temp_files(self, tmp_path, compiled_small):
+        cache = PlanCache(directory=tmp_path)
+        cache.put("key", PlanCacheEntry.from_kernel("key", compiled_small))
+        orphan = tmp_path / "key.json.tmp.1234.5678"
+        orphan.write_text("{half-written", encoding="utf-8")
+        cache.clear(disk=True)
+        assert list(tmp_path.iterdir()) == []
+
 
 # --------------------------------------------------------------------- #
 # KernelTable lookup edge cases
