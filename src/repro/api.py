@@ -41,6 +41,12 @@ from repro.ir.graph import GemmChainSpec
 from repro.ir.workloads import get_workload
 from repro.search.cost_model import CostModel
 from repro.search.engine import SearchEngine, SearchResult, SearchSummary
+from repro.search.incremental import (
+    ShapeIndex,
+    TransferSeed,
+    seed_from_plan_dict,
+    shape_family_key,
+)
 from repro.sim.engine import PerformanceSimulator, SimulationReport
 from repro.sim.profiler import MemoryProfiler, TrafficReport
 
@@ -199,6 +205,11 @@ class CompileResponse:
             "elapsed_s": self.elapsed_s,
             "search": dict(self.config.cache_key_fields()),
             "parallelism": self.config.parallelism,
+            #: How the plan was found: "exact" enumeration or a warm-started
+            #: "transfer" search seeded from the nearest compiled shape.
+            "mode": getattr(self.kernel.search, "mode", "exact"),
+            "transfer": self.config.transfer,
+            "incremental": self.config.incremental,
         }
 
 
@@ -266,6 +277,9 @@ class FlashFuser:
         self._toolchains: Dict[str, Tuple[PerformanceSimulator, CostModel]] = {
             _DEFAULT_DEVICE_KEY: (self.simulator, self.cost_model)
         }
+        #: In-process nearest-shape index of serialized plans, seeding
+        #: warm-start transfer searches even when no plan cache is attached.
+        self._shapes = ShapeIndex()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
 
@@ -338,9 +352,13 @@ class FlashFuser:
             kernel = cache.load_kernel(key, chain=chain)
         cache_hit = kernel is not None
         if kernel is None:
-            kernel = self._compile_uncached(chain, config, device)
+            seed = self._transfer_seed(chain, config, device, cache)
+            kernel = self._compile_uncached(
+                chain, config, device, transfer_seed=seed
+            )
             if cache is not None and key is not None:
                 cache.store_kernel(key, kernel)
+        self._register_shape(chain, config, device, cache, key, kernel)
         return CompileResponse(
             kernel=kernel,
             request=request,
@@ -464,11 +482,69 @@ class FlashFuser:
             return self._cache
         return config.resolve_cache()
 
+    def _transfer_seed(
+        self,
+        chain: GemmChainSpec,
+        config: FuserConfig,
+        device: HardwareSpec,
+        cache,
+    ) -> Optional[TransferSeed]:
+        """The nearest-shape plan skeleton to warm-start this compile from.
+
+        Consults the in-process shape index first (it exists even without a
+        plan cache), then the cache's cross-process index.  Returns ``None``
+        when transfer is disabled or no same-family shape was compiled yet —
+        the search then runs the full enumeration.
+        """
+        if not config.transfer:
+            return None
+        family = shape_family_key(chain, device, config.cache_key_fields())
+        payload = self._shapes.nearest(
+            family, (chain.m, chain.n, chain.k, chain.l)
+        )
+        if payload is not None:
+            return seed_from_plan_dict(payload)
+        if cache is not None:
+            return cache.nearest_seed(
+                chain, device, config.cache_key_fields()
+            )
+        return None
+
+    def _register_shape(
+        self,
+        chain: GemmChainSpec,
+        config: FuserConfig,
+        device: HardwareSpec,
+        cache,
+        key: Optional[str],
+        kernel: CompiledKernel,
+    ) -> None:
+        """Index this compile's shape so nearby shapes can seed from it."""
+        if not config.transfer:
+            return
+        family = shape_family_key(chain, device, config.cache_key_fields())
+        self._shapes.register(
+            family, (chain.m, chain.n, chain.k, chain.l), kernel.plan.to_dict()
+        )
+        if cache is not None and key is not None:
+            cache.register_shape(
+                chain, device, config.cache_key_fields(), key
+            )
+
     def _compile_uncached(
-        self, chain: GemmChainSpec, config: FuserConfig, device: HardwareSpec
+        self,
+        chain: GemmChainSpec,
+        config: FuserConfig,
+        device: HardwareSpec,
+        transfer_seed: Optional[TransferSeed] = None,
     ) -> CompiledKernel:
         engine = self._engine_for(config, device)
-        search = engine.search(chain)
+        # Positional-free dispatch keeps custom/stubbed engines without a
+        # transfer_seed parameter working when transfer is off.
+        if transfer_seed is not None:
+            search = engine.search(chain, transfer_seed=transfer_seed)
+        else:
+            search = engine.search(chain)
         if not search.succeeded:
             raise FusionError(
                 f"no feasible fused plan found for {chain.name}; the chain's "
@@ -528,6 +604,8 @@ class FlashFuser:
             config.include_dsm,
             config.max_tile,
             parallelism,
+            config.incremental,
+            config.transfer_bound,
         )
         with self._engines_lock:
             engine = self._engines.get(key)
@@ -557,6 +635,8 @@ class FlashFuser:
                 space=space,
                 cost_model=cost_model,
                 parallelism=parallelism,
+                incremental=config.incremental,
+                transfer_bound=config.transfer_bound,
             )
         return SearchEngine(
             device,
@@ -565,6 +645,8 @@ class FlashFuser:
             profiler=simulator.profile,
             space=space,
             cost_model=cost_model,
+            incremental=config.incremental,
+            transfer_bound=config.transfer_bound,
         )
 
     def _ensure_pool(self) -> ThreadPoolExecutor:

@@ -4,8 +4,11 @@ Builds the scenario trace a :class:`~repro.bench.config.BenchConfig`
 describes, replays it against a fresh :class:`~repro.graphs.server.ModelServer`
 stack, writes the :class:`~repro.bench.report.PerfReport` JSON, and prints a
 short summary.  With ``--baseline`` the fresh report is additionally diffed
-against a stored one and deterministic regressions (hit rate, errors) fail
-the run — the CI benchmarks job uses exactly this entry point.
+against a stored one and deterministic regressions (hit rate, errors,
+search-candidate counters) fail the run — the CI benchmarks job uses
+exactly this entry point.  ``--gate-timing`` additionally arms the
+wall-clock gates (overall and cold-phase p50 ratios) at loose default
+tolerances.
 
 The ``fleet`` scenario replays against a multi-process
 :class:`~repro.fleet.router.ServingFleet` instead; ``--workers`` takes one
@@ -32,6 +35,15 @@ from repro.graphs.server import ModelServer
 
 #: Default report artifact name (the repo's perf trajectory convention).
 DEFAULT_OUTPUT = "BENCH_bench.json"
+
+#: Timing-gate thresholds applied by ``--gate-timing`` when the explicit
+#: ``--max-p50-ratio`` / ``--max-cold-p50-ratio`` flags are not given.
+#: Wall-clock ratios compare elapsed time across possibly different
+#: machines, so the defaults carry generous headroom: a 3x budget tolerates
+#: a loaded or slower runner while still catching a reintroduced
+#: cold-compile cliff (which regresses by 1-2 orders of magnitude).
+DEFAULT_MAX_P50_RATIO = 3.0
+DEFAULT_MAX_COLD_P50_RATIO = 3.0
 
 
 def run(config: BenchConfig, *, name: str = "bench") -> PerfReport:
@@ -137,6 +149,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="plan-cache directory (omit for a genuinely cold cold-phase)",
     )
     parser.add_argument(
+        "--no-transfer",
+        action="store_true",
+        help="disable nearest-shape warm-start transfer search (measures "
+        "the pure exact-search cold phase)",
+    )
+    parser.add_argument(
         "--workers",
         nargs="+",
         type=int,
@@ -160,7 +178,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=float,
         default=None,
         help="optional timing gate for --baseline: fail when the new p50 "
-        "exceeds baseline p50 by this factor",
+        "exceeds baseline p50 by this factor (wall-clock, so give it "
+        "headroom; see --gate-timing for the defaults)",
+    )
+    parser.add_argument(
+        "--max-cold-p50-ratio",
+        type=float,
+        default=None,
+        help="optional timing gate for --baseline: fail when the new "
+        "cold-phase p50 exceeds the baseline's by this factor — the "
+        "cold-compile-cliff guard (wall-clock, so give it headroom)",
+    )
+    parser.add_argument(
+        "--gate-timing",
+        action="store_true",
+        help="enable the timing gates with default tolerances "
+        f"(p50 {DEFAULT_MAX_P50_RATIO}x, cold p50 "
+        f"{DEFAULT_MAX_COLD_P50_RATIO}x) for any --max-*-ratio flag not "
+        "given explicitly; tolerances are ratios of wall-clock latency, "
+        "deliberately loose because runner speed varies — the "
+        "deterministic gates (hit rate, errors, candidates enumerated/"
+        "analyzed) are always exact and always on",
     )
     parser.add_argument(
         "--max-hit-rate-drop",
@@ -171,6 +209,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "small allowance)",
     )
     args = parser.parse_args(argv)
+    if args.gate_timing:
+        if args.max_p50_ratio is None:
+            args.max_p50_ratio = DEFAULT_MAX_P50_RATIO
+        if args.max_cold_p50_ratio is None:
+            args.max_cold_p50_ratio = DEFAULT_MAX_COLD_P50_RATIO
 
     config = BenchConfig(
         scenario=args.scenario,
@@ -185,6 +228,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         top_k=args.top_k,
         max_tile=args.max_tile,
         cache=args.cache,
+        transfer=not args.no_transfer,
     )
     # Fail early on an unknown device instead of mid-replay.
     FuserConfig(device=config.device).resolve_device()
@@ -244,11 +288,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"vs baseline {baseline.name}: "
             f"p50 ratio {delta.p50_ratio and round(delta.p50_ratio, 2)}, "
+            f"cold p50 ratio "
+            f"{delta.cold_p50_ratio and round(delta.cold_p50_ratio, 2)}, "
             f"hit-rate delta {delta.hit_rate_delta:+.1%}, "
             f"errors {delta.error_delta:+d}"
         )
+        if delta.search_delta is not None:
+            print(
+                "  search delta: "
+                + ", ".join(
+                    f"{counter} {value:+d}"
+                    for counter, value in delta.search_delta.items()
+                )
+            )
         problems = delta.regressions(
             max_p50_ratio=args.max_p50_ratio,
+            max_cold_p50_ratio=args.max_cold_p50_ratio,
             max_hit_rate_drop=args.max_hit_rate_drop,
         )
         if problems:

@@ -64,6 +64,12 @@ class BenchConfig:
         :class:`~repro.config.FuserConfig` (``cache`` is a plan-cache
         directory, or ``None`` to serve from a fresh in-process state so
         the cold phase is genuinely cold).
+    transfer:
+        Whether the serving stack warm-starts cold compiles from the
+        nearest already-compiled shape (``FuserConfig.transfer``).  On by
+        default: the benchmark's cold phase is exactly the cold-compile
+        cliff the transfer search exists to flatten.  Pass ``False`` to
+        measure the pure exact-search baseline.
     workers:
         Worker-process count of the serving fleet (``fleet`` scenario
         only; the single-process scenarios ignore it).
@@ -89,6 +95,7 @@ class BenchConfig:
     top_k: int = 5
     max_tile: int = 128
     cache: Optional[Union[str, os.PathLike]] = None
+    transfer: bool = True
     workers: int = 1
 
     def __post_init__(self) -> None:
@@ -126,6 +133,7 @@ class BenchConfig:
             top_k=self.top_k,
             max_tile=self.max_tile,
             cache=self.cache,
+            transfer=self.transfer,
         )
 
     def fleet_config(self) -> "FleetConfig":
@@ -145,6 +153,7 @@ class BenchConfig:
             device=self.device,
             top_k=self.top_k,
             max_tile=self.max_tile,
+            transfer=self.transfer,
         )
 
     # ------------------------------------------------------------------ #
@@ -165,6 +174,7 @@ class BenchConfig:
             "top_k": self.top_k,
             "max_tile": self.max_tile,
             "cache": None if self.cache is None else os.fspath(self.cache),
+            "transfer": self.transfer,
             "workers": self.workers,
         }
 

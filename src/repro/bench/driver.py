@@ -41,9 +41,10 @@ class RequestRecord:
 
     ``wall_us`` is the driver-observed resolution latency; ``source`` is the
     serving stack's own provenance (``table``, ``cache:memory``,
-    ``cache:disk``, ``compiled``, or the model layer's most-expensive-chain
-    summary), and ``queue_depth`` is the number of requests already
-    dispatched but not yet finished when this one was issued.
+    ``cache:disk``, ``compiled``, ``compiled:transfer``, or the model
+    layer's most-expensive-chain summary), and ``queue_depth`` is the number
+    of requests already dispatched but not yet finished when this one was
+    issued.
     """
 
     index: int
@@ -56,6 +57,9 @@ class RequestRecord:
     wall_us: float
     source: str
     error: Optional[str] = None
+    #: Search-effort counters (candidates enumerated / analyzed / skipped)
+    #: reported by the stack when this request ran a fusion search.
+    search_counters: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -75,6 +79,7 @@ class RequestRecord:
             "wall_us": self.wall_us,
             "source": self.source,
             "error": self.error,
+            "search_counters": self.search_counters,
         }
 
 
@@ -300,6 +305,7 @@ class LoadDriver:
         issued = time.perf_counter()
         source = "error"
         error: Optional[str] = None
+        search_counters: Optional[Dict[str, int]] = None
         try:
             if self.fleet is not None:
                 fleet_response = self.fleet.serve(
@@ -314,13 +320,16 @@ class LoadDriver:
                     )
                 else:
                     error = fleet_response.error
+                search_counters = getattr(fleet_response, "search_counters", None)
             elif request.kind == KIND_KERNEL:
                 response = self.kernels.request(request.target, request.m)
                 source = response.source
+                search_counters = response.search_counters
             else:
                 assert self.models is not None  # _prepare guarantees this
                 model_response = self.models.serve(request.target, m=request.m)
                 source = model_response.source
+                search_counters = model_response.search_counters
         except FusionError as exc:
             error = f"FusionError: {exc}"
         wall_us = (time.perf_counter() - issued) * 1e6
@@ -335,4 +344,5 @@ class LoadDriver:
             wall_us=wall_us,
             source=source,
             error=error,
+            search_counters=search_counters,
         )

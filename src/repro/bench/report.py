@@ -82,16 +82,38 @@ def _counts(records: Sequence[RequestRecord], attr: str) -> Dict[str, int]:
     return dict(sorted(counts.items()))
 
 
+def _search_totals(records: Sequence[RequestRecord]) -> Dict[str, int]:
+    """Summed search-effort counters over records that ran a search.
+
+    These sums are deterministic for a seeded in-order replay (they count
+    candidates, not microseconds), so CI can gate on them exactly.
+    """
+    totals = {
+        "candidates_enumerated": 0,
+        "candidates_analyzed": 0,
+        "candidates_skipped": 0,
+    }
+    for record in records:
+        if record.search_counters is None:
+            continue
+        for counter in totals:
+            totals[counter] += int(record.search_counters.get(counter, 0))
+    return totals
+
+
 def _phase_block(records: Sequence[RequestRecord]) -> Dict[str, object]:
     ok = [record for record in records if record.ok]
     walls = [record.wall_us for record in ok]
-    compiled = sum(1 for record in ok if record.source == ServingStats.COMPILED)
+    compiled = sum(
+        1 for record in ok if ServingStats.is_compile_source(record.source)
+    )
     return {
         "requests": len(records),
         "errors": len(records) - len(ok),
         "by_source": _counts(ok, "source"),
         "hit_rate": (len(ok) - compiled) / len(ok) if ok else 0.0,
         "latency_us": _latency_block(walls),
+        "search": _search_totals(ok),
     }
 
 
@@ -189,7 +211,9 @@ class PerfReport:
         if duration_s is None:
             duration_s = sum(walls) / 1e6
         compiled = [
-            record for record in ok if record.source == ServingStats.COMPILED
+            record
+            for record in ok
+            if ServingStats.is_compile_source(record.source)
         ]
         compile_time_us = sum(record.wall_us for record in compiled)
         serve_time_us = sum(walls) - compile_time_us
@@ -215,6 +239,7 @@ class PerfReport:
                 "by_kind": _counts(ok, "kind"),
                 "by_source": _counts(ok, "source"),
                 "by_target": _counts(ok, "target"),
+                "search": _search_totals(ok),
             },
             "cache": {
                 "hits": len(ok) - len(compiled),
@@ -384,6 +409,9 @@ class ReportDelta:
     candidate: str
     #: candidate p50 / baseline p50 (> 1 means the candidate is slower).
     p50_ratio: Optional[float]
+    #: candidate cold-phase p50 / baseline cold-phase p50 (``None`` when
+    #: either report lacks a measured cold phase).
+    cold_p50_ratio: Optional[float]
     #: candidate throughput / baseline throughput (< 1 means slower).
     throughput_ratio: Optional[float]
     #: candidate hit rate minus baseline hit rate (< 0 means fewer hits).
@@ -392,6 +420,9 @@ class ReportDelta:
     error_delta: int
     #: candidate requests minus baseline requests.
     request_delta: int
+    #: Per-counter candidate-minus-baseline search-effort deltas (``None``
+    #: when the baseline predates the ``counts.search`` block).
+    search_delta: Optional[Dict[str, int]]
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dictionary form with a stable key order."""
@@ -399,24 +430,35 @@ class ReportDelta:
             "baseline": self.baseline,
             "candidate": self.candidate,
             "p50_ratio": self.p50_ratio,
+            "cold_p50_ratio": self.cold_p50_ratio,
             "throughput_ratio": self.throughput_ratio,
             "hit_rate_delta": self.hit_rate_delta,
             "error_delta": self.error_delta,
             "request_delta": self.request_delta,
+            "search_delta": self.search_delta,
         }
 
     def regressions(
         self,
         *,
         max_p50_ratio: Optional[float] = None,
+        max_cold_p50_ratio: Optional[float] = None,
         max_hit_rate_drop: float = 0.0,
         allow_new_errors: bool = False,
     ) -> List[str]:
         """Threshold check for CI gating; empty means no regression.
 
-        Timing thresholds are opt-in (``max_p50_ratio``) because wall-clock
-        ratios are noisy across machines; the deterministic gates — cache
-        hit rate and error count — are always applied.
+        Timing thresholds are opt-in (``max_p50_ratio``,
+        ``max_cold_p50_ratio``) because wall-clock ratios are noisy across
+        machines — they compare elapsed time, so a loaded or slower runner
+        can exceed a tight ratio without any code regression; gate them
+        with headroom (ratios well above 1.0).  The deterministic gates are
+        always applied: cache hit rate, error count, and — when both
+        reports carry the ``counts.search`` block — the candidates-
+        enumerated/analyzed counters, which count search work exactly and
+        therefore fail on *any* increase, no tolerance.  A baseline
+        predating the search block skips the counter gate rather than
+        failing it.
         """
         problems: List[str] = []
         if self.hit_rate_delta < -max_hit_rate_drop - 1e-12:
@@ -426,6 +468,14 @@ class ReportDelta:
             )
         if not allow_new_errors and self.error_delta > 0:
             problems.append(f"{self.error_delta} new request error(s)")
+        if self.search_delta is not None:
+            for counter in ("candidates_enumerated", "candidates_analyzed"):
+                grew = self.search_delta.get(counter, 0)
+                if grew > 0:
+                    problems.append(
+                        f"search effort regressed: {counter} grew by {grew} "
+                        "(exact gate, no tolerance)"
+                    )
         if (
             max_p50_ratio is not None
             and self.p50_ratio is not None
@@ -434,6 +484,15 @@ class ReportDelta:
             problems.append(
                 f"p50 latency regressed {self.p50_ratio:.2f}x "
                 f"(allowed {max_p50_ratio:.2f}x)"
+            )
+        if (
+            max_cold_p50_ratio is not None
+            and self.cold_p50_ratio is not None
+            and self.cold_p50_ratio > max_cold_p50_ratio
+        ):
+            problems.append(
+                f"cold-phase p50 regressed {self.cold_p50_ratio:.2f}x "
+                f"(allowed {max_cold_p50_ratio:.2f}x)"
             )
         return problems
 
@@ -456,14 +515,46 @@ def compare(baseline: PerfReport, candidate: PerfReport) -> ReportDelta:
     candidate_p50 = candidate.p50_us
     baseline_rps = baseline.throughput_rps
     candidate_rps = candidate.throughput_rps
+    baseline_cold = _phase_p50(baseline, "cold")
+    candidate_cold = _phase_p50(candidate, "cold")
+    baseline_search = _search_block(baseline)
+    candidate_search = _search_block(candidate)
+    search_delta: Optional[Dict[str, int]] = None
+    if baseline_search is not None and candidate_search is not None:
+        search_delta = {
+            counter: int(candidate_search.get(counter, 0))
+            - int(baseline_search.get(counter, 0))
+            for counter in sorted(set(baseline_search) | set(candidate_search))
+        }
     return ReportDelta(
         baseline=baseline.name,
         candidate=candidate.name,
         p50_ratio=(candidate_p50 / baseline_p50) if baseline_p50 > 0 else None,
+        cold_p50_ratio=(
+            candidate_cold / baseline_cold
+            if baseline_cold and candidate_cold is not None
+            else None
+        ),
         throughput_ratio=(
             candidate_rps / baseline_rps if baseline_rps > 0 else None
         ),
         hit_rate_delta=candidate.hit_rate - baseline.hit_rate,
         error_delta=candidate.errors - baseline.errors,
         request_delta=candidate.requests - baseline.requests,
+        search_delta=search_delta,
     )
+
+
+def _phase_p50(report: PerfReport, phase: str) -> Optional[float]:
+    block = dict(report.payload.get("phases", {})).get(phase)
+    if not block:
+        return None
+    return float(block["latency_us"]["p50"])
+
+
+def _search_block(report: PerfReport) -> Optional[Dict[str, int]]:
+    counts = dict(report.payload.get("counts", {}))
+    search = counts.get("search")
+    if search is None:
+        return None
+    return {str(k): int(v) for k, v in dict(search).items()}

@@ -637,7 +637,9 @@ def scenario_trace(config: "BenchConfig") -> Trace:
                 sorted({largest_bin // 2 or 1, largest_bin})
             ),
             decode_m=tuple(
-                sorted({max(1, smallest_bin // 8), smallest_bin // 2 or 1, smallest_bin})
+                sorted(
+                    {max(1, smallest_bin // 8), smallest_bin // 2 or 1, smallest_bin}
+                )
             ),
             bursty=config.scenario != "llm",
             seed=config.seed,

@@ -89,6 +89,22 @@ class FuserConfig:
         engine; a larger value shards the candidate space across that many
         worker processes.  Never part of the cache key — it cannot change
         the selected plan.
+    transfer:
+        Warm-start cold compiles from the nearest previously compiled shape
+        (same chain kind/device, different M/N/K): a bounded local search
+        around the transferred plan replaces full enumeration when it stays
+        within ``transfer_bound`` of the chain's cost lower bound.  Off by
+        default — a transferred plan may differ from the exact search's, so
+        both knobs are part of the cache key.
+    transfer_bound:
+        Acceptance bound of transferred plans, as a factor over the chain's
+        admissible cost lower bound (must be >= 1.0).  Only meaningful with
+        ``transfer=True``.
+    incremental:
+        Memoize kind-independent subchain analysis cores inside the search
+        engines, so e.g. a gated-FFN search reuses its standard-FFN prefix
+        work.  Plan-neutral (selected plans are bit-identical either way),
+        so never part of the cache key.
 
     Example
     -------
@@ -98,7 +114,7 @@ class FuserConfig:
     >>> FuserConfig.from_dict(config.to_dict()) == config
     True
     >>> sorted(config.cache_key_fields())
-    ['include_dsm', 'max_tile', 'top_k']
+    ['include_dsm', 'max_tile', 'top_k', 'transfer', 'transfer_bound']
     """
 
     device: Union[str, HardwareSpec] = "h100"
@@ -107,6 +123,9 @@ class FuserConfig:
     max_tile: int = 256
     cache: Optional[Union["PlanCache", str, os.PathLike]] = None
     parallelism: Optional[int] = None
+    transfer: bool = False
+    transfer_bound: float = 2.0
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.top_k < 1:
@@ -115,6 +134,8 @@ class FuserConfig:
             raise ValueError("max_tile must be >= 1")
         if self.parallelism is not None and self.parallelism < 1:
             raise ValueError("parallelism must be >= 1 (or None for serial)")
+        if self.transfer_bound < 1.0:
+            raise ValueError("transfer_bound must be >= 1.0")
 
     # ------------------------------------------------------------------ #
     # Derivation
@@ -143,14 +164,19 @@ class FuserConfig:
         """The knobs that shape compiled plans — the plan-cache key part.
 
         This is the single canonical definition: exactly ``top_k``,
-        ``include_dsm`` and ``max_tile``.  Device identity enters the key
-        separately (via the hardware fingerprint) and ``parallelism`` and
-        ``cache`` never do, so neither knob invalidates cached plans.
+        ``include_dsm``, ``max_tile``, ``transfer`` and ``transfer_bound``
+        (the transfer knobs can change which plan is selected, so they must
+        partition the cache).  Device identity enters the key separately
+        (via the hardware fingerprint) and ``parallelism``, ``incremental``
+        and ``cache`` never do — they cannot change the selected plan, so
+        toggling them does not invalidate cached plans.
         """
         return {
             "top_k": self.top_k,
             "include_dsm": self.include_dsm,
             "max_tile": self.max_tile,
+            "transfer": self.transfer,
+            "transfer_bound": self.transfer_bound,
         }
 
     # ------------------------------------------------------------------ #
@@ -194,6 +220,9 @@ class FuserConfig:
             "max_tile": self.max_tile,
             "cache": cache,
             "parallelism": self.parallelism,
+            "transfer": self.transfer,
+            "transfer_bound": self.transfer_bound,
+            "incremental": self.incremental,
         }
 
     @classmethod

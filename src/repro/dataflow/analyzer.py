@@ -27,6 +27,7 @@ from repro.dataflow.footprint import (
 from repro.dataflow.loop_schedule import LoopSchedule
 from repro.dataflow.resource_map import (
     ResourceMapping,
+    TensorPlacement,
     default_budgets,
     greedy_place,
 )
@@ -91,6 +92,30 @@ class DataflowResult:
         )
 
 
+@dataclass
+class SubchainAnalysis:
+    """The chain-kind-independent core of one candidate analysis.
+
+    Everything here depends only on the candidate (schedule, tile,
+    geometry), the problem dimensions and the analyzer's device context —
+    *not* on the chain kind or the gated-sequential flag.  A gated-FFN
+    chain and its standard-FFN prefix therefore share one record: the
+    GEMM0 weight traffic is stored per branch (``b_unit_traffic``) and
+    scaled back up at assembly time, which is exact because the branch
+    count is a small power of two.
+    """
+
+    a_traffic: float
+    b_unit_traffic: float
+    d_traffic: float
+    output_traffic: float
+    reused: ReusedTensorInfo
+    placement: TensorPlacement
+    reuse_volumes: Dict[str, float]
+    clusters_per_output: int
+    feasible: bool
+
+
 class DataflowAnalyzer:
     """Algorithm 1: quantify data movement for one candidate plan.
 
@@ -105,6 +130,14 @@ class DataflowAnalyzer:
         Fraction of the register file reserved for the mainloop working set.
     smem_reserve_bytes:
         SMEM held back for double-buffered operand staging.
+    analysis_cache:
+        Optional memo for :class:`SubchainAnalysis` records.  Any object
+        with ``lookup(chain, schedule, tile, geometry)`` returning a
+        record or ``None`` and ``store(chain, schedule, tile, geometry,
+        analysis)`` works (see
+        :class:`repro.search.incremental.SubchainAnalysisCache`); the
+        cache must only be shared between analyzers with an identical
+        device context.
     """
 
     def __init__(
@@ -113,11 +146,13 @@ class DataflowAnalyzer:
         include_dsm: bool = True,
         register_reserve_fraction: float = 0.5,
         smem_reserve_bytes: int = 32 * 1024,
+        analysis_cache: Optional[object] = None,
     ) -> None:
         self.device = device
         self.include_dsm = include_dsm and device.has_dsm
         self.register_reserve_fraction = register_reserve_fraction
         self.smem_reserve_bytes = smem_reserve_bytes
+        self.analysis_cache = analysis_cache
         # Hierarchy and budget construction are pure functions of the cluster
         # size; cache them because the search engine analyses tens of
         # thousands of candidates per chain.
@@ -137,33 +172,48 @@ class DataflowAnalyzer:
     ) -> DataflowResult:
         """Analyse one candidate and return its data-movement breakdown."""
         geometry = geometry or ClusterGeometry.single_block()
-        cluster_blocks = geometry.blocks_per_cluster
-        hierarchy = self._hierarchy_for(cluster_blocks if self.include_dsm else 1)
+        core: Optional[SubchainAnalysis] = None
+        if self.analysis_cache is not None:
+            core = self.analysis_cache.lookup(chain, schedule, tile, geometry)
+        if core is None:
+            core = self.analyze_core(chain, schedule, tile, geometry)
+            if self.analysis_cache is not None:
+                self.analysis_cache.store(chain, schedule, tile, geometry, core)
+        return self.assemble(
+            chain, schedule, tile, geometry, core, gated_sequential
+        )
 
-        volumes: Dict[str, float] = {name: 0.0 for name in hierarchy.names()}
-        volumes.setdefault(MemoryLevelName.GLOBAL, 0.0)
+    def analyze_core(
+        self,
+        chain: GemmChainSpec,
+        schedule: LoopSchedule,
+        tile: TileConfig,
+        geometry: ClusterGeometry,
+    ) -> SubchainAnalysis:
+        """The kind-independent part of Algorithm 1 for one candidate.
 
+        GEMM0 weight traffic is computed for a *single* branch; everything
+        else (A/D/E traffic, the persistent-intermediate placement and its
+        per-level reuse traffic, the partial-output cluster count) is the
+        same for a standard and a gated chain of equal dimensions.
+        """
         # ----- input/output tensors (Algorithm 1 lines 8-13) ----------- #
-        input_traffic = 0.0
-        for tensor in ("A", "B", "D"):
-            input_traffic += io_tensor_traffic(tensor, chain, schedule, tile, geometry)
+        a_traffic = io_tensor_traffic("A", chain, schedule, tile, geometry)
+        b_unit_traffic = io_tensor_traffic(
+            "B", chain, schedule, tile, geometry, branches=1
+        )
+        d_traffic = io_tensor_traffic("D", chain, schedule, tile, geometry)
         output_traffic = float(tensor_size_bytes("E", chain))
-        volumes[MemoryLevelName.GLOBAL] += input_traffic + output_traffic
-        # Streamed operands pass through SMEM staging buffers on their way
-        # to the tensor cores.
-        if MemoryLevelName.SMEM in volumes:
-            volumes[MemoryLevelName.SMEM] += input_traffic
 
         # ----- persistent intermediate (lines 15-26) -------------------- #
         reused = reused_tensor_footprint(chain, schedule, tile, geometry)
         budgets = self._budgets_for(
-            cluster_blocks if self.include_dsm else 1,
+            geometry.blocks_per_cluster if self.include_dsm else 1,
             self.include_dsm and geometry.uses_dsm,
         )
         placement = greedy_place(reused.tensor, reused.footprint_bytes, budgets)
-        mapping = ResourceMapping()
-        mapping.add(placement)
 
+        reuse_volumes: Dict[str, float] = {}
         for level_name, allocated in placement.allocations.items():
             if allocated <= 0:
                 continue
@@ -172,14 +222,64 @@ class DataflowAnalyzer:
                 # A global spill costs an extra write to stage the data in
                 # addition to the per-trip accesses.
                 traffic += allocated
+            reuse_volumes[level_name] = traffic
+
+        return SubchainAnalysis(
+            a_traffic=a_traffic,
+            b_unit_traffic=b_unit_traffic,
+            d_traffic=d_traffic,
+            output_traffic=output_traffic,
+            reused=reused,
+            placement=placement,
+            reuse_volumes=reuse_volumes,
+            clusters_per_output=self._clusters_per_output(
+                chain, schedule, tile, geometry
+            ),
+            feasible=not placement.spills_to_global,
+        )
+
+    def assemble(
+        self,
+        chain: GemmChainSpec,
+        schedule: LoopSchedule,
+        tile: TileConfig,
+        geometry: ClusterGeometry,
+        core: SubchainAnalysis,
+        gated_sequential: bool = False,
+    ) -> DataflowResult:
+        """Rebuild the full :class:`DataflowResult` from a cached core.
+
+        Adds back exactly the kind-dependent pieces: the GEMM0 branch
+        factor on the B traffic and the dsm_comm plan (which depends on
+        the gated-sequential flag).  Scaling ``b_unit_traffic`` by the
+        branch count is bit-identical to sizing B with both branches up
+        front — the count is a power of two, so the multiplication is
+        exact and commutes with the traffic factor.
+        """
+        cluster_blocks = geometry.blocks_per_cluster
+        hierarchy = self._hierarchy_for(cluster_blocks if self.include_dsm else 1)
+
+        volumes: Dict[str, float] = {name: 0.0 for name in hierarchy.names()}
+        volumes.setdefault(MemoryLevelName.GLOBAL, 0.0)
+
+        b_traffic = core.b_unit_traffic * chain.num_gemm0_branches
+        input_traffic = (core.a_traffic + b_traffic) + core.d_traffic
+        volumes[MemoryLevelName.GLOBAL] += input_traffic + core.output_traffic
+        # Streamed operands pass through SMEM staging buffers on their way
+        # to the tensor cores.
+        if MemoryLevelName.SMEM in volumes:
+            volumes[MemoryLevelName.SMEM] += input_traffic
+
+        mapping = ResourceMapping()
+        mapping.add(core.placement)
+        for level_name, traffic in core.reuse_volumes.items():
             volumes[level_name] = volumes.get(level_name, 0.0) + traffic
 
         # ----- dsm_comm collectives ------------------------------------- #
-        clusters_per_output = self._clusters_per_output(chain, schedule, tile, geometry)
         comm_plan = CommPlan.build(
             chain,
             geometry,
-            clusters_per_output=clusters_per_output,
+            clusters_per_output=core.clusters_per_output,
             gated_sequential=gated_sequential,
         )
         if self.include_dsm and geometry.uses_dsm:
@@ -192,7 +292,6 @@ class DataflowAnalyzer:
             volumes[MemoryLevelName.GLOBAL] += 2.0 * comm_plan.dsm_bytes()
         volumes[MemoryLevelName.GLOBAL] += comm_plan.inter_cluster_bytes()
 
-        feasible = not placement.spills_to_global
         return DataflowResult(
             chain=chain,
             schedule=schedule,
@@ -200,9 +299,9 @@ class DataflowAnalyzer:
             geometry=geometry,
             volumes=volumes,
             mapping=mapping,
-            reused=reused,
+            reused=core.reused,
             comm_plan=comm_plan,
-            feasible=feasible,
+            feasible=core.feasible,
         )
 
     # ------------------------------------------------------------------ #

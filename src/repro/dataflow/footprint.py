@@ -21,7 +21,7 @@ how many times it is re-accessed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.dataflow.loop_schedule import LoopSchedule
 from repro.dataflow.tiling import TileConfig
@@ -41,14 +41,22 @@ TENSOR_DIMS: Dict[str, Tuple[str, ...]] = {
 ACCUMULATOR_ITEMSIZE = 4
 
 
-def tensor_size_bytes(tensor: str, chain: GemmChainSpec) -> int:
-    """Whole-tensor size in bytes (both weight branches for a gated B)."""
+def tensor_size_bytes(
+    tensor: str, chain: GemmChainSpec, branches: Optional[int] = None
+) -> int:
+    """Whole-tensor size in bytes (both weight branches for a gated B).
+
+    ``branches`` overrides the chain's own GEMM0 branch count; passing 1
+    yields the single-branch (standard-FFN) size of B, which the
+    incremental analysis cache scales back up per chain kind.
+    """
     dims = TENSOR_DIMS[tensor]
     sizes = chain.dimension_sizes()
     elements = 1
     for dim in dims:
         elements *= sizes[dim]
-    branches = chain.num_gemm0_branches if tensor == "B" else 1
+    if branches is None:
+        branches = chain.num_gemm0_branches if tensor == "B" else 1
     return elements * chain.itemsize * branches
 
 
@@ -206,6 +214,7 @@ def io_tensor_traffic(
     schedule: LoopSchedule,
     tile: TileConfig,
     geometry: ClusterGeometry,
+    branches: Optional[int] = None,
 ) -> float:
     """Global-memory traffic of one input/output tensor in bytes.
 
@@ -214,9 +223,11 @@ def io_tensor_traffic(
     be re-streamed (see :data:`_RESTREAM_DIMS`).  Spatial dimensions are
     covered by parallel units and contribute a factor of one — reuse across
     blocks is served by L2 multicast, matching Algorithm 1's treatment of
-    spatial dimensions.
+    spatial dimensions.  ``branches`` forwards to
+    :func:`tensor_size_bytes` (single-branch sizing for the incremental
+    analysis cache).
     """
-    size = tensor_size_bytes(tensor, chain)
+    size = tensor_size_bytes(tensor, chain, branches=branches)
     factor = 1.0
     for dim in _RESTREAM_DIMS[tensor]:
         if schedule.is_temporal(dim):

@@ -41,10 +41,13 @@ class FleetConfig:
         fleet create (and own) a temporary directory for its lifetime.
     m_bins:
         M bins of each worker's kernel server.
-    device, top_k, include_dsm, max_tile:
+    device, top_k, include_dsm, max_tile, transfer:
         Compiler knobs forwarded to each worker's
         :class:`~repro.config.FuserConfig`.  Workers always run the serial
-        search engine — the fleet itself is the parallelism.
+        search engine — the fleet itself is the parallelism.  With
+        ``transfer`` enabled, a worker's cold compile of a new M warm-starts
+        from the nearest shape in the shared plan cache (source
+        ``compiled:transfer``).
     watermark:
         Admission-control watermark: when the aggregate queue depth
         (dispatched-but-unfinished requests across all workers) reaches
@@ -88,6 +91,7 @@ class FleetConfig:
     top_k: int = 11
     include_dsm: bool = True
     max_tile: int = 256
+    transfer: bool = False
     watermark: int = 64
     affinity_slack: int = 2
     max_retries: int = 2
@@ -144,6 +148,7 @@ class FleetConfig:
             include_dsm=self.include_dsm,
             max_tile=self.max_tile,
             cache=directory,
+            transfer=self.transfer,
         )
 
     # ------------------------------------------------------------------ #
@@ -161,6 +166,7 @@ class FleetConfig:
             "top_k": self.top_k,
             "include_dsm": self.include_dsm,
             "max_tile": self.max_tile,
+            "transfer": self.transfer,
             "watermark": self.watermark,
             "affinity_slack": self.affinity_slack,
             "max_retries": self.max_retries,

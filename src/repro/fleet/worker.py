@@ -43,7 +43,7 @@ from repro.errors import FusionError
 from repro.fleet.config import FleetConfig
 from repro.graphs.server import ModelServer
 from repro.ir.workloads import MODEL_ZOO
-from repro.runtime.server import SOURCE_COMPILED
+from repro.runtime.stats import ServingStats
 
 #: Resolution source reported for the first serve from a broadcast-warmed
 #: table entry: the shape was cold-compiled by a *different* worker and
@@ -125,7 +125,7 @@ class FleetWorker:
         except Exception as exc:  # noqa: BLE001 — workers must not die mid-serve
             error = f"{type(exc).__name__}: {exc}"
         if source is not None:
-            compiled = source == SOURCE_COMPILED
+            compiled = ServingStats.is_compile_source(source)
             warmed_key = (kind, target, bin_m)
             if not compiled and warmed_key in self._warmed:
                 self._warmed.discard(warmed_key)

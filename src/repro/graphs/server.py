@@ -11,8 +11,9 @@ the simulator, and answers with the assembled
 Model-level metrics land in a dedicated
 :class:`~repro.runtime.stats.ServingStats`: each serve is recorded under the
 model's name with the *most expensive* source any of its chains needed
-(``compiled`` > ``cache:disk`` > ``cache:memory`` > ``table``), while the
-underlying :class:`KernelServer` keeps its own per-chain stats.
+(``compiled`` > ``compiled:transfer`` > ``cache:disk`` > ``cache:memory`` >
+``table``), while the underlying :class:`KernelServer` keeps its own
+per-chain stats.
 """
 
 from __future__ import annotations
@@ -36,6 +37,7 @@ from repro.runtime.server import (
     SOURCE_CACHE_MEMORY,
     SOURCE_COMPILED,
     SOURCE_TABLE,
+    SOURCE_TRANSFER,
     KernelServer,
 )
 from repro.runtime.stats import ServingStats
@@ -45,12 +47,15 @@ from repro.sim.engine import PerformanceSimulator
 #: for a requested batched token count M.
 GraphFactory = Callable[[int], OperatorGraph]
 
-#: Source ranking used to summarise a multi-chain serve as one source.
+#: Source ranking used to summarise a multi-chain serve as one source.  A
+#: transfer-warmed compile still runs a (bounded) search, so it outranks
+#: every hit tier but stays cheaper than a full exact compile.
 _SOURCE_COST = {
     SOURCE_TABLE: 0,
     SOURCE_CACHE_MEMORY: 1,
     SOURCE_CACHE_DISK: 2,
-    SOURCE_COMPILED: 3,
+    SOURCE_TRANSFER: 3,
+    SOURCE_COMPILED: 4,
 }
 
 #: Distinct (model, m) extraction results kept in the serve-path memo.
@@ -71,6 +76,9 @@ class ModelServeResponse:
     source: str
     #: Wall-clock time spent serving this request.
     latency_us: float
+    #: Search-effort counters summed over every chain that ran a fusion
+    #: search this serve (``None`` when all chains were hits).
+    search_counters: Optional[Dict[str, int]] = None
 
     @property
     def time_us(self) -> float:
@@ -202,12 +210,21 @@ class ModelServer:
             for chain_name, outcome in settled.items()
             if not isinstance(outcome, FusionError)
         }
+        search_counters: Optional[Dict[str, int]] = None
+        for outcome in settled.values():
+            if isinstance(outcome, FusionError) or outcome[4] is None:
+                continue
+            if search_counters is None:
+                search_counters = dict.fromkeys(outcome[4], 0)
+            for counter, value in outcome[4].items():
+                search_counters[counter] = search_counters.get(counter, 0) + value
 
         def resolve(match: ChainMatch) -> Tuple[CompiledKernel, str, bool, float]:
             outcome = settled[match.chain.name]
             if isinstance(outcome, FusionError):
                 raise outcome
-            return outcome
+            kernel, source, cache_hit, charged_us, _ = outcome
+            return kernel, source, cache_hit, charged_us
 
         plan = assemble_plan(graph.name, extraction, resolve, self.simulator)
         source = max(
@@ -224,6 +241,7 @@ class ModelServer:
             sources=sources,
             source=source,
             latency_us=latency_us,
+            search_counters=search_counters,
         )
 
     def warm_from_cache(self, name: str, m: Optional[int] = None) -> int:
@@ -278,7 +296,13 @@ class ModelServer:
     # ------------------------------------------------------------------ #
     def _resolve_all(
         self, matches: List[ChainMatch]
-    ) -> Dict[str, Union[Tuple[CompiledKernel, str, bool, float], FusionError]]:
+    ) -> Dict[
+        str,
+        Union[
+            Tuple[CompiledKernel, str, bool, float, Optional[Dict[str, int]]],
+            FusionError,
+        ],
+    ]:
         """Resolve every chain through the kernel server, fanning out when
         the model has several (the backing request path is thread-safe and
         deduplicates concurrent first requests per bin)."""
@@ -295,9 +319,13 @@ class ModelServer:
 
     def _settle(
         self, match: ChainMatch
-    ) -> Union[Tuple[CompiledKernel, str, bool, float], FusionError]:
-        """One chain's (kernel, source, cache_hit, charged time), or its
-        FusionError (kept as a value so sibling chains still resolve)."""
+    ) -> Union[
+        Tuple[CompiledKernel, str, bool, float, Optional[Dict[str, int]]],
+        FusionError,
+    ]:
+        """One chain's (kernel, source, cache_hit, charged time, search
+        counters), or its FusionError (kept as a value so sibling chains
+        still resolve)."""
         try:
             response = self.server.request(CompileRequest(chain=match.chain))
         except FusionError as exc:
@@ -313,6 +341,7 @@ class ModelServer:
             response.source,
             cache_hit,
             response.kernel.time_us * waves,
+            getattr(response, "search_counters", None),
         )
 
     def _materialize(

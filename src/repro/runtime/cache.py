@@ -37,6 +37,12 @@ from repro.codegen.plan import ExecutionPlan
 from repro.hardware.spec import HardwareSpec
 from repro.ir.graph import GemmChainSpec
 from repro.search.engine import SearchSummary
+from repro.search.incremental import (
+    ShapeIndex,
+    TransferSeed,
+    seed_from_plan_dict,
+    shape_family_key,
+)
 from repro.sim.engine import SimulationReport
 from repro.sim.profiler import TrafficReport
 
@@ -240,6 +246,9 @@ class PlanCache:
         # Rehydrated kernels memoized per (key, served chain name) so hot
         # requests skip re-lowering; bounded by the same LRU capacity.
         self._kernels: "OrderedDict[tuple, CompiledKernel]" = OrderedDict()
+        # Nearest-shape registry: family -> (m, n, k, l) -> entry key, used
+        # to seed warm-start transfer searches (see repro.search.incremental).
+        self._shapes = ShapeIndex()
 
     # ------------------------------------------------------------------ #
     # Keys
@@ -303,6 +312,57 @@ class PlanCache:
     def contains(self, key: str) -> bool:
         """Whether either tier holds ``key``."""
         return self.tier_of(key) is not None
+
+    # ------------------------------------------------------------------ #
+    # Nearest-shape transfer seeds
+    # ------------------------------------------------------------------ #
+    def register_shape(
+        self,
+        chain: GemmChainSpec,
+        device: HardwareSpec,
+        search_config: Optional[Dict[str, object]],
+        key: str,
+    ) -> None:
+        """Index ``key`` as the plan compiled for ``chain``'s shape.
+
+        Shapes are grouped into families (same chain kind/activation/dtype,
+        device and search config — everything but M/N/K/L); within a family
+        :meth:`nearest_seed` ranks entries by log-scale dimension distance.
+        """
+        family = shape_family_key(chain, device, search_config or {})
+        self._shapes.register(
+            family, (chain.m, chain.n, chain.k, chain.l), key
+        )
+
+    def nearest_seed(
+        self,
+        chain: GemmChainSpec,
+        device: HardwareSpec,
+        search_config: Optional[Dict[str, object]] = None,
+    ) -> Optional[TransferSeed]:
+        """The plan skeleton of the nearest previously compiled shape.
+
+        A peek, not a lookup: neither tier's hit/miss counters move, so
+        transfer seeding never distorts the cache statistics the serving
+        layer reports.  Returns ``None`` when no same-family shape has been
+        registered or its entry has been evicted from both tiers.
+        """
+        family = shape_family_key(chain, device, search_config or {})
+        key = self._shapes.nearest(family, (chain.m, chain.n, chain.k, chain.l))
+        if key is None:
+            return None
+        entry = self._peek(str(key))
+        if entry is None:
+            return None
+        return seed_from_plan_dict(entry.plan)
+
+    def _peek(self, key: str) -> Optional[PlanCacheEntry]:
+        """Entry for ``key`` without touching stats or LRU order."""
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is not None:
+            return entry
+        return self._read_disk(key)
 
     # ------------------------------------------------------------------ #
     # Kernel-level interface (what FlashFuser calls)

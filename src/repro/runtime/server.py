@@ -42,6 +42,9 @@ SOURCE_TABLE = "table"
 SOURCE_CACHE_MEMORY = "cache:memory"
 SOURCE_CACHE_DISK = "cache:disk"
 SOURCE_COMPILED = ServingStats.COMPILED
+#: On-demand compile resolved by a warm-started transfer search (still a
+#: miss, but typically orders of magnitude cheaper than full enumeration).
+SOURCE_TRANSFER = ServingStats.TRANSFER
 
 #: Default M bins: powers of two covering decode batches through prefill
 #: chunks (requests above the largest bin reuse its kernel across waves).
@@ -58,6 +61,25 @@ class ServeResponse:
     kernel: CompiledKernel
     source: str
     latency_us: float
+    #: Search-effort counters (candidates enumerated/analyzed/skipped) when
+    #: this request ran a fusion search; ``None`` for table/cache hits.
+    search_counters: Optional[Dict[str, int]] = None
+
+
+def _search_counters(
+    kernel: CompiledKernel, source: str
+) -> Optional[Dict[str, int]]:
+    """Deterministic search-effort counters for a compile-sourced response."""
+    if not ServingStats.is_compile_source(source):
+        return None
+    search = kernel.search
+    return {
+        "candidates_enumerated": int(
+            getattr(search, "candidates_enumerated", 0)
+        ),
+        "candidates_analyzed": int(getattr(search, "candidates_analyzed", 0)),
+        "candidates_skipped": int(getattr(search, "candidates_skipped", 0)),
+    }
 
 
 class KernelServer:
@@ -190,10 +212,11 @@ class KernelServer:
         bin_m = self.bin_for(runtime_m)
         # The shared kernel tables are keyed by (workload/shape, bin) only,
         # so they may serve and store solely kernels compiled under the
-        # server's own config.  parallelism cannot change the selected plan;
-        # any other override reshapes it, so such requests bypass the table
-        # (they still resolve through the plan cache and compile path).
-        plan_neutral = set(overrides) <= {"parallelism"}
+        # server's own config.  parallelism and incremental cannot change
+        # the selected plan; any other override reshapes it, so such
+        # requests bypass the table (they still resolve through the plan
+        # cache and compile path).
+        plan_neutral = set(overrides) <= {"parallelism", "incremental"}
         if not plan_neutral:
             binned = base.scaled(m=bin_m, name=f"{base.name}_m{bin_m}")
             kernel, source = self._resolve_miss(binned, overrides)
@@ -206,6 +229,7 @@ class KernelServer:
                 kernel=kernel,
                 source=source,
                 latency_us=latency_us,
+                search_counters=_search_counters(kernel, source),
             )
         with self._lock:
             table = self._tables.setdefault(key, KernelTable(chain=base))
@@ -234,6 +258,7 @@ class KernelServer:
             kernel=kernel,
             source=source,
             latency_us=latency_us,
+            search_counters=_search_counters(kernel, source),
         )
 
     # ------------------------------------------------------------------ #
@@ -412,4 +437,6 @@ class KernelServer:
         response = self.compiler.compile_request(
             CompileRequest(chain=chain, overrides=overrides)
         )
+        if getattr(response.kernel.search, "mode", "exact") == "transfer":
+            return response.kernel, SOURCE_TRANSFER
         return response.kernel, SOURCE_COMPILED

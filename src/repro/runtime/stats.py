@@ -74,22 +74,46 @@ class ServingStats:
 
     Tracks total requests, per-source and per-workload counts, and a
     :class:`LatencySummary` per resolution source.  A request is a *hit*
-    when it was satisfied without running the fusion search (table or cache
-    sources); the on-demand ``"compiled"`` source is the only miss.
+    when it was satisfied without running a fusion search (table or cache
+    sources); every compile source — the on-demand exact ``"compiled"``
+    search and its warm-started ``"compiled:transfer"`` variant — is a
+    miss.
 
     Example
     -------
     >>> stats = ServingStats()
     >>> stats.record_request("G4", "compiled", 1500.0)
+    >>> stats.record_request("G4", "compiled:transfer", 200.0)
     >>> stats.record_request("G4", "table", 40.0)
     >>> stats.hits, stats.misses, stats.hit_rate()
-    (1, 1, 0.5)
+    (1, 2, 0.3333333333333333)
     >>> stats.to_dict()["by_source"]
-    {'compiled': 1, 'table': 1}
+    {'compiled': 1, 'compiled:transfer': 1, 'table': 1}
     """
 
-    #: The resolution source recorded for on-demand compiles (the only miss).
+    #: The resolution source recorded for on-demand exact compiles.
     COMPILED = "compiled"
+    #: On-demand compiles resolved by a warm-started transfer search seeded
+    #: from the nearest previously compiled shape (still a miss — a search
+    #: ran — but a far cheaper one).
+    TRANSFER = "compiled:transfer"
+
+    @classmethod
+    def is_compile_source(cls, source: str) -> bool:
+        """Whether ``source`` denotes an on-demand compile (a miss).
+
+        Compile-source variants share the ``"compiled"`` prefix with a
+        ``:qualifier`` suffix, so aggregation layers can classify sources
+        without enumerating every variant.
+
+        >>> ServingStats.is_compile_source("compiled")
+        True
+        >>> ServingStats.is_compile_source("compiled:transfer")
+        True
+        >>> ServingStats.is_compile_source("table")
+        False
+        """
+        return source == cls.COMPILED or source.startswith(cls.COMPILED + ":")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -117,7 +141,11 @@ class ServingStats:
     @property
     def misses(self) -> int:
         """Requests that fell through to an on-demand fusion search."""
-        return self.by_source[self.COMPILED]
+        return sum(
+            count
+            for source, count in self.by_source.items()
+            if self.is_compile_source(source)
+        )
 
     @property
     def hits(self) -> int:

@@ -8,11 +8,23 @@ performance simulator to pick the final plan
 (:mod:`repro.search.engine`, Algorithm 2).  The unpruned exhaustive search
 used for the Table VIII comparison lives in :mod:`repro.search.brute_force`,
 and the sharded process-parallel engine — same selected plan, cold compiles
-fanned across workers — in :mod:`repro.search.parallel`.
+fanned across workers — in :mod:`repro.search.parallel`.  The incremental
+layer — subchain analysis memoization, admissible lower bounds and
+nearest-shape warm-start transfer — lives in
+:mod:`repro.search.incremental`.
 """
 
 from repro.search.cost_model import CostBreakdown, CostModel
 from repro.search.engine import FusionCandidate, SearchEngine, SearchResult
+from repro.search.incremental import (
+    CandidateLowerBound,
+    ShapeIndex,
+    SubchainAnalysisCache,
+    TransferSearch,
+    TransferSeed,
+    seed_from_plan_dict,
+    shape_family_key,
+)
 from repro.search.parallel import AdaptiveShardSizer, ParallelSearchEngine
 from repro.search.pruning import PruningRule, PruningStats, Pruner
 from repro.search.space import SearchSpace, SpaceComponents, initial_space_size
@@ -20,12 +32,17 @@ from repro.search.brute_force import BruteForceSearch
 
 __all__ = [
     "AdaptiveShardSizer",
+    "CandidateLowerBound",
     "CostBreakdown",
     "CostModel",
     "FusionCandidate",
     "ParallelSearchEngine",
     "SearchEngine",
     "SearchResult",
+    "ShapeIndex",
+    "SubchainAnalysisCache",
+    "TransferSearch",
+    "TransferSeed",
     "PruningRule",
     "PruningStats",
     "Pruner",
@@ -33,4 +50,6 @@ __all__ = [
     "SpaceComponents",
     "initial_space_size",
     "BruteForceSearch",
+    "seed_from_plan_dict",
+    "shape_family_key",
 ]

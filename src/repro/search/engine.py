@@ -47,7 +47,15 @@ class RankedPlan:
 
 @dataclass
 class SearchResult:
-    """Outcome of one fusion search."""
+    """Outcome of one fusion search.
+
+    ``mode`` records how the plan was found: ``"exact"`` for a full
+    enumeration, ``"transfer"`` for a warm-started local search around a
+    nearest-shape seed (see :mod:`repro.search.incremental`).
+    ``candidates_skipped`` counts candidates whose admissible lower bound
+    already exceeded the running top-K threshold, so they were never
+    analysed.
+    """
 
     chain: GemmChainSpec
     best: Optional[RankedPlan]
@@ -56,6 +64,8 @@ class SearchResult:
     candidates_enumerated: int
     candidates_analyzed: int
     search_time_s: float
+    mode: str = "exact"
+    candidates_skipped: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -95,6 +105,10 @@ class SearchSummary:
     #: ``True`` when this summary was served by the plan cache rather than
     #: produced by a live search.
     from_cache: bool = False
+    #: ``"exact"`` or ``"transfer"`` — how the plan was found.
+    mode: str = "exact"
+    #: Candidates skipped by the admissible lower bound.
+    candidates_skipped: int = 0
 
     @classmethod
     def from_result(cls, result: SearchResult) -> "SearchSummary":
@@ -108,6 +122,8 @@ class SearchSummary:
             search_time_s=result.search_time_s,
             predicted_cost_us=best.predicted_cost_us if best else None,
             profiled_time_us=best.profiled_time_us if best else None,
+            mode=result.mode,
+            candidates_skipped=result.candidates_skipped,
         )
 
     def to_dict(self) -> dict:
@@ -120,11 +136,17 @@ class SearchSummary:
             "search_time_s": self.search_time_s,
             "predicted_cost_us": self.predicted_cost_us,
             "profiled_time_us": self.profiled_time_us,
+            "mode": self.mode,
+            "candidates_skipped": self.candidates_skipped,
         }
 
     @classmethod
     def from_dict(cls, payload: dict, from_cache: bool = False) -> "SearchSummary":
-        """Rebuild a summary from :meth:`to_dict` output."""
+        """Rebuild a summary from :meth:`to_dict` output.
+
+        Summaries persisted before the incremental-search fields existed
+        load with the defaults (``mode="exact"``, no skips).
+        """
         return cls(
             workload=str(payload["workload"]),
             succeeded=bool(payload["succeeded"]),
@@ -134,6 +156,8 @@ class SearchSummary:
             predicted_cost_us=payload.get("predicted_cost_us"),
             profiled_time_us=payload.get("profiled_time_us"),
             from_cache=from_cache,
+            mode=str(payload.get("mode", "exact")),
+            candidates_skipped=int(payload.get("candidates_skipped", 0)),
         )
 
 
@@ -158,6 +182,25 @@ class SearchEngine:
     require_feasible:
         Drop candidates whose persistent intermediate spills to global
         memory (the definition of a fusion failure).
+    incremental:
+        Memoize the kind-independent core of every candidate analysis in a
+        :class:`~repro.search.incremental.SubchainAnalysisCache`, so a
+        gated-FFN search reuses its standard-FFN prefix work.  Plan-neutral:
+        the selected plans are bit-identical either way.
+    lower_bound_prune:
+        Skip analysing candidates whose admissible lower bound strictly
+        exceeds the running top-K cost threshold.  The bound never
+        overestimates (see
+        :class:`~repro.search.incremental.CandidateLowerBound`), so the
+        surviving top-K — and therefore the selected plan — is unchanged;
+        only ``candidates_analyzed`` shrinks.  Off by default because the
+        analyzed-count bookkeeping is pinned by equivalence tests.
+    transfer_bound:
+        Acceptance bound of warm-started transfer searches (used when
+        :meth:`search` is given a ``transfer_seed``): the transferred
+        plan's predicted cost must stay within this factor of the chain's
+        absolute lower bound, else the engine falls back to full
+        enumeration.
 
     Example
     -------
@@ -186,7 +229,17 @@ class SearchEngine:
         cost_model: Optional[CostModel] = None,
         require_feasible: bool = True,
         max_candidates: Optional[int] = None,
+        incremental: bool = True,
+        lower_bound_prune: bool = False,
+        transfer_bound: float = 2.0,
     ) -> None:
+        # Local import: incremental.py returns SearchResult objects, so the
+        # module-level dependency must point the other way.
+        from repro.search.incremental import (
+            CandidateLowerBound,
+            SubchainAnalysisCache,
+        )
+
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
         self.device = device
@@ -195,20 +248,42 @@ class SearchEngine:
         self.profiler = profiler
         self.space = space or SearchSpace(device, include_clusters=self.include_dsm)
         self.cost_model = cost_model or CostModel(device)
-        self.analyzer = DataflowAnalyzer(device, include_dsm=self.include_dsm)
+        self.incremental = incremental
+        self.analysis_cache = SubchainAnalysisCache() if incremental else None
+        self.analyzer = DataflowAnalyzer(
+            device,
+            include_dsm=self.include_dsm,
+            analysis_cache=self.analysis_cache,
+        )
         self.require_feasible = require_feasible
         self.max_candidates = max_candidates
+        self.lower_bound_prune = lower_bound_prune
+        self.transfer_bound = transfer_bound
+        self.bounds = CandidateLowerBound(device, self.cost_model)
 
     # ------------------------------------------------------------------ #
     # Algorithm 2
     # ------------------------------------------------------------------ #
-    def search(self, chain: GemmChainSpec) -> SearchResult:
-        """Find the best fused execution plan for ``chain``."""
+    def search(self, chain: GemmChainSpec, transfer_seed=None) -> SearchResult:
+        """Find the best fused execution plan for ``chain``.
+
+        With a ``transfer_seed`` (a
+        :class:`~repro.search.incremental.TransferSeed` from a previously
+        compiled nearby shape), a bounded local search around the seed
+        runs first; its result is returned (``mode="transfer"``) when it
+        passes the acceptance bound, otherwise the full enumeration runs
+        as usual.
+        """
+        if transfer_seed is not None:
+            transferred = self._transfer_search(chain, transfer_seed)
+            if transferred is not None:
+                return transferred
         start = time.perf_counter()
         pruner = Pruner(self.device, include_dsm=self.include_dsm)
 
         enumerated = 0
         analyzed = 0
+        skipped = 0
         # Max-heap by (cost, analysis order): entries are (-cost, -counter),
         # so the root is the worst of the current top-K and, among tied
         # costs, the *latest* analysed — evicting it first keeps the top-K
@@ -225,6 +300,16 @@ class SearchEngine:
                 # The analysis budget is exhausted; draining the rest of the
                 # pruned stream would only burn time without adding plans.
                 break
+            if (
+                self.lower_bound_prune
+                and len(heap) == self.top_k
+                and self.bounds.lower_bound(chain, candidate) > -heap[0][0]
+            ):
+                # The admissible bound already exceeds the K-th best cost:
+                # this candidate can neither enter the top-K nor change its
+                # order, so analysing it would be pure waste.
+                skipped += 1
+                continue
             result = self.analyzer.analyze(
                 chain,
                 candidate.schedule,
@@ -236,7 +321,9 @@ class SearchEngine:
             if self.require_feasible and not result.feasible:
                 continue
             cost = self.cost_model.evaluate(result)
-            plan = RankedPlan(candidate=candidate, result=result, predicted_cost_us=cost)
+            plan = RankedPlan(
+                candidate=candidate, result=result, predicted_cost_us=cost
+            )
             counter += 1
             if len(heap) < self.top_k:
                 heapq.heappush(heap, (-cost, -counter, plan))
@@ -271,4 +358,22 @@ class SearchEngine:
             candidates_enumerated=stats.initial,
             candidates_analyzed=analyzed,
             search_time_s=elapsed,
+            candidates_skipped=skipped,
         )
+
+    def _transfer_search(self, chain: GemmChainSpec, seed) -> Optional[SearchResult]:
+        """Bounded local search around ``seed``; ``None`` means fall back."""
+        from repro.search.incremental import TransferSearch
+
+        transfer = TransferSearch(
+            self.device,
+            space=self.space,
+            cost_model=self.cost_model,
+            top_k=self.top_k,
+            include_dsm=self.include_dsm,
+            require_feasible=self.require_feasible,
+            transfer_bound=self.transfer_bound,
+            profiler=self.profiler,
+            analyzer=self.analyzer,
+        )
+        return transfer.search(chain, seed)

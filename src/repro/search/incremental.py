@@ -1,0 +1,534 @@
+"""Incremental and transfer-aware search.
+
+Three cooperating mechanisms shrink the cold-compile cliff without ever
+changing which plan a full search would select:
+
+* **Compositional reuse** — :class:`SubchainAnalysisCache` memoizes the
+  chain-kind-independent core of every dataflow analysis
+  (:class:`~repro.dataflow.analyzer.SubchainAnalysis`), keyed by the
+  canonical *subchain* hash (the chain with its kind and activation
+  normalised away) plus the candidate.  A gated-FFN search analyses each
+  (schedule, tile, geometry) point once and reuses the core across both
+  gated modes — and across canonically dimension-identical chains of any
+  kind — instead of recomputing its standard-FFN prefix work.
+* **Admissible lower bounds** — :class:`CandidateLowerBound` prices a
+  candidate *before* analysis using only its guaranteed-minimum global
+  traffic and its exact compute time.  Both components bound the cost
+  model's eventual verdict from below (the global volume only ever grows
+  during analysis and the compute stage is replicated exactly), so
+  best-first enumeration may skip any candidate whose bound already
+  exceeds the current top-K threshold without changing the top-K.
+* **Warm-start transfer** — :class:`TransferSearch` seeds a bounded local
+  search from the plan of the nearest previously compiled shape
+  (:class:`ShapeIndex`), and accepts the result only when it is provably
+  within ``transfer_bound`` of the chain's absolute lower bound —
+  otherwise the caller falls back to full enumeration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace as _dataclass_replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataflow.analyzer import DataflowAnalyzer, SubchainAnalysis
+from repro.dataflow.footprint import io_tensor_traffic, tensor_size_bytes
+from repro.dataflow.loop_schedule import LoopSchedule
+from repro.dataflow.tiling import TileConfig
+from repro.dsm_comm.geometry import ClusterGeometry
+from repro.hardware.spec import HardwareSpec
+from repro.ir.graph import ChainKind, GemmChainSpec
+from repro.ir.ops import ActivationKind
+from repro.search.cost_model import CostModel
+from repro.search.pruning import Pruner, PruningStats
+from repro.search.space import FusionCandidate, SearchSpace
+
+#: Chain-kind/activation values every subchain is normalised to before
+#: hashing, so chains that differ only in those fields share cache entries.
+_NORMAL_KIND = ChainKind.STANDARD_FFN
+_NORMAL_ACTIVATION = ActivationKind.RELU
+
+
+class SubchainAnalysisCache:
+    """Bounded, thread-safe memo for kind-independent analysis cores.
+
+    Keys combine the canonical *subchain* token — the chain's canonical
+    hash after normalising away its kind and activation, which do not
+    enter the core — with the frozen candidate components.  The cache is
+    only valid within one analyzer device context (device fingerprint,
+    DSM setting, reserve knobs); construct one per analyzer, or pass an
+    explicit ``context`` string when sharing.
+    """
+
+    def __init__(self, max_entries: int = 65536, context: str = "") -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.context = context
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, SubchainAnalysis]" = OrderedDict()
+        self._tokens: Dict[GemmChainSpec, str] = {}
+
+    def _token(self, chain: GemmChainSpec) -> str:
+        token = self._tokens.get(chain)
+        if token is None:
+            normalized = chain
+            if (
+                chain.kind is not _NORMAL_KIND
+                or chain.activation is not _NORMAL_ACTIVATION
+            ):
+                normalized = _dataclass_replace(
+                    chain, kind=_NORMAL_KIND, activation=_NORMAL_ACTIVATION
+                )
+            token = normalized.canonical_hash()
+            self._tokens[chain] = token
+        return token
+
+    def _key(
+        self,
+        chain: GemmChainSpec,
+        schedule: LoopSchedule,
+        tile: TileConfig,
+        geometry: ClusterGeometry,
+    ) -> tuple:
+        return (self.context, self._token(chain), schedule, tile, geometry)
+
+    def lookup(
+        self,
+        chain: GemmChainSpec,
+        schedule: LoopSchedule,
+        tile: TileConfig,
+        geometry: ClusterGeometry,
+    ) -> Optional[SubchainAnalysis]:
+        """The cached core for one candidate, or ``None``."""
+        key = self._key(chain, schedule, tile, geometry)
+        with self._lock:
+            core = self._entries.get(key)
+            if core is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return core
+
+    def store(
+        self,
+        chain: GemmChainSpec,
+        schedule: LoopSchedule,
+        tile: TileConfig,
+        geometry: ClusterGeometry,
+        analysis: SubchainAnalysis,
+    ) -> None:
+        """Remember the core for one candidate (evicting LRU entries)."""
+        key = self._key(chain, schedule, tile, geometry)
+        with self._lock:
+            self._entries[key] = analysis
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters (diagnostics only)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+            }
+
+
+class CandidateLowerBound:
+    """Admissible cost lower bounds, computable without a dataflow analysis.
+
+    For a candidate, :meth:`lower_bound` is ``max(global-traffic time,
+    compute time)`` where the global traffic counts only the streamed
+    input/output tensors — exactly the first contribution the analyzer
+    charges to global memory, before any spill or communication traffic is
+    added — and the compute time replicates the cost model's formula
+    exactly.  Since global bandwidth is never SM-scaled, every later
+    addition to the global volume can only raise the level cost, and the
+    minimax objective is a maximum over stages, the bound never exceeds
+    :meth:`CostModel.evaluate` of the analysed candidate.
+
+    :meth:`chain_lower_bound` is candidate-independent: the chain's
+    minimum I/O bytes over global bandwidth versus its FLOPs at the best
+    possible efficiency.  It bounds every candidate's cost from below,
+    including the full search's winner — the anchor the transfer
+    acceptance test compares against.
+    """
+
+    def __init__(self, device: HardwareSpec, cost_model: CostModel) -> None:
+        self.device = device
+        self.cost_model = cost_model
+
+    def lower_bound(self, chain: GemmChainSpec, candidate: FusionCandidate) -> float:
+        """A cost the analysed candidate can never beat."""
+        schedule, tile, geometry = (
+            candidate.schedule,
+            candidate.tile,
+            candidate.geometry,
+        )
+        a = io_tensor_traffic("A", chain, schedule, tile, geometry)
+        b = io_tensor_traffic("B", chain, schedule, tile, geometry)
+        d = io_tensor_traffic("D", chain, schedule, tile, geometry)
+        input_traffic = (a + b) + d
+        volume = input_traffic + float(tensor_size_bytes("E", chain))
+        memory_us = volume / (self.device.global_bandwidth_gbps * 1e3)
+        return max(memory_us, self._compute_us(chain, candidate))
+
+    def chain_lower_bound(self, chain: GemmChainSpec) -> float:
+        """A cost no candidate of ``chain`` can beat."""
+        memory_us = float(chain.io_bytes_min()) / (
+            self.device.global_bandwidth_gbps * 1e3
+        )
+        effective_tflops = (
+            self.device.peak_fp16_tflops * self.cost_model.compute_efficiency
+        )
+        compute_us = chain.total_flops() / (effective_tflops * 1e6)
+        return max(memory_us, compute_us)
+
+    def _compute_us(self, chain: GemmChainSpec, candidate: FusionCandidate) -> float:
+        # Exact replica of CostModel._compute_time_us / _occupied_sms on the
+        # candidate's components (no DataflowResult required).
+        blocks = 1
+        sizes = chain.dimension_sizes()
+        for dim in ("m", "n", "k", "l"):
+            if candidate.schedule.is_spatial(dim):
+                blocks *= max(1, sizes[dim] // max(1, candidate.tile.block_of(dim)))
+            else:
+                blocks *= candidate.geometry.size_of(dim)
+        occupied = max(1, min(self.device.num_sms, blocks))
+        occupancy = occupied / self.device.num_sms
+        efficiency = self.cost_model.compute_efficiency * max(
+            0.25, min(1.0, occupancy)
+        )
+        effective_tflops = self.device.peak_fp16_tflops * efficiency
+        return chain.total_flops() / (effective_tflops * 1e6)
+
+
+@dataclass(frozen=True)
+class TransferSeed:
+    """The reusable skeleton of a previously selected execution plan."""
+
+    schedule: LoopSchedule
+    tile: TileConfig
+    geometry: ClusterGeometry
+
+
+def seed_from_plan_dict(plan: Dict[str, object]) -> TransferSeed:
+    """Extract a :class:`TransferSeed` from an ``ExecutionPlan.to_dict()``.
+
+    Duck-typed on the serialized plan schema so the search layer never
+    imports the runtime cache (which would be circular).
+    """
+    schedule_payload = plan["schedule"]
+    schedule = LoopSchedule(
+        spatial=frozenset(schedule_payload["spatial"]),
+        temporal=tuple(schedule_payload["temporal"]),
+    )
+    tile_payload = plan["tile"]
+    tile = TileConfig(
+        block_m=int(tile_payload["m"]),
+        block_n=int(tile_payload["n"]),
+        block_k=int(tile_payload["k"]),
+        block_l=int(tile_payload["l"]),
+    )
+    geometry = ClusterGeometry(*(int(value) for value in plan["geometry"]))
+    return TransferSeed(schedule=schedule, tile=tile, geometry=geometry)
+
+
+def shape_family_key(
+    chain: GemmChainSpec,
+    device: HardwareSpec,
+    search_config: Dict[str, object],
+) -> str:
+    """Key grouping shapes whose plans may seed each other.
+
+    A family fixes everything except the problem dimensions: chain kind,
+    activation, dtype, the device fingerprint and the plan-shaping search
+    knobs.  Within a family, :class:`ShapeIndex` ranks entries by
+    dimension distance.
+    """
+    canonical = {
+        key: value
+        for key, value in chain.canonical_dict().items()
+        if key not in ("m", "n", "k", "l")
+    }
+    payload = {
+        "canonical": canonical,
+        "device": device.fingerprint(),
+        "search": {key: search_config[key] for key in sorted(search_config)},
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def shape_distance(
+    a: Tuple[int, int, int, int], b: Tuple[int, int, int, int]
+) -> float:
+    """Log-scale distance between two ``(m, n, k, l)`` shapes.
+
+    Each dimension contributes the magnitude of its log2 ratio, so doubling
+    any one dimension costs 1.0 and the metric is symmetric:
+
+    >>> shape_distance((64, 768, 768, 1), (64, 768, 768, 1))
+    0.0
+    >>> shape_distance((64, 768, 768, 1), (256, 768, 768, 1))
+    2.0
+    >>> shape_distance((256, 768, 768, 1), (64, 768, 768, 1))
+    2.0
+    """
+    return sum(
+        abs(math.log2(max(1, x) / max(1, y))) for x, y in zip(a, b)
+    )
+
+
+class ShapeIndex:
+    """Nearest-shape registry of previously selected plans.
+
+    Maps a family key (see :func:`shape_family_key`) to a bounded set of
+    ``(m, n, k, l) -> payload`` entries; :meth:`nearest` returns the
+    payload whose shape minimises :func:`shape_distance` (ties broken by
+    the smaller shape tuple, so lookups are deterministic).  Payloads are
+    opaque — the in-process index stores serialized plans, the plan cache
+    stores entry keys.
+    """
+
+    def __init__(self, max_entries_per_family: int = 64) -> None:
+        if max_entries_per_family < 1:
+            raise ValueError("max_entries_per_family must be >= 1")
+        self.max_entries_per_family = max_entries_per_family
+        self._lock = threading.Lock()
+        self._families: Dict[str, "OrderedDict[tuple, object]"] = {}
+
+    def register(
+        self, family: str, dims: Tuple[int, int, int, int], payload: object
+    ) -> None:
+        """Remember ``payload`` as the plan for ``dims`` in ``family``."""
+        dims = tuple(int(value) for value in dims)
+        with self._lock:
+            entries = self._families.setdefault(family, OrderedDict())
+            entries[dims] = payload
+            entries.move_to_end(dims)
+            while len(entries) > self.max_entries_per_family:
+                entries.popitem(last=False)
+
+    def nearest(
+        self, family: str, dims: Tuple[int, int, int, int]
+    ) -> Optional[object]:
+        """The payload of the family's nearest registered shape."""
+        dims = tuple(int(value) for value in dims)
+        with self._lock:
+            entries = self._families.get(family)
+            if not entries:
+                return None
+            best = min(
+                entries.items(),
+                key=lambda item: (shape_distance(dims, item[0]), item[0]),
+            )
+            return best[1]
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._families.values())
+
+
+class TransferSearch:
+    """Bounded local search around a transferred plan (warm start).
+
+    The neighborhood fixes the seed's loop schedule and explores tiles and
+    geometries whose per-dimension extents are within a factor of two of
+    the seed's, across all gated modes — a few hundred candidates instead
+    of the full cross product.  Candidates run through the same pruning
+    cascade, analyzer and cost model as the full search, best-first in
+    ``(lower bound, enumeration index)`` order so the neighborhood top-K
+    is exact while most of it is skipped.
+
+    The result is accepted only when the neighborhood's cheapest predicted
+    cost stays within ``transfer_bound`` times the chain's absolute lower
+    bound; since that bound also undercuts the full search's winner, an
+    accepted transfer carries a plan provably within ``transfer_bound`` of
+    optimal in its top-K.  A rejection returns ``None`` and the caller
+    falls back to full enumeration.
+    """
+
+    def __init__(
+        self,
+        device: HardwareSpec,
+        space: SearchSpace,
+        cost_model: CostModel,
+        top_k: int = 11,
+        include_dsm: bool = True,
+        require_feasible: bool = True,
+        transfer_bound: float = 2.0,
+        profiler=None,
+        analyzer: Optional[DataflowAnalyzer] = None,
+    ) -> None:
+        if transfer_bound < 1.0:
+            raise ValueError("transfer_bound must be >= 1.0")
+        self.device = device
+        self.space = space
+        self.cost_model = cost_model
+        self.top_k = top_k
+        self.include_dsm = include_dsm and device.has_dsm
+        self.require_feasible = require_feasible
+        self.transfer_bound = transfer_bound
+        self.profiler = profiler
+        self.analyzer = analyzer or DataflowAnalyzer(
+            device, include_dsm=self.include_dsm
+        )
+        self.bounds = CandidateLowerBound(device, cost_model)
+
+    # ------------------------------------------------------------------ #
+    # Neighborhood construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _near(value: int, seed_value: int) -> bool:
+        return seed_value // 2 <= value <= seed_value * 2
+
+    def neighborhood(
+        self, chain: GemmChainSpec, seed: TransferSeed
+    ) -> List[FusionCandidate]:
+        """Seed-local candidates, in deterministic enumeration order."""
+        components = self.space.components(chain)
+        if seed.schedule not in components.schedules:
+            return []
+        tiles = [
+            tile
+            for tile in components.tiles
+            if all(
+                self._near(tile.block_of(dim), seed.tile.block_of(dim))
+                for dim in ("m", "n", "k", "l")
+            )
+        ]
+        geometries = [
+            geometry
+            for geometry in components.geometries
+            if all(
+                self._near(geometry.size_of(dim), seed.geometry.size_of(dim))
+                for dim in ("m", "n", "k", "l")
+            )
+        ]
+        candidates: List[FusionCandidate] = []
+        for geometry in geometries:
+            for tile in tiles:
+                for gated_sequential in components.gated_modes:
+                    candidates.append(
+                        FusionCandidate(
+                            chain=chain,
+                            schedule=seed.schedule,
+                            tile=tile,
+                            geometry=geometry,
+                            gated_sequential=gated_sequential,
+                        )
+                    )
+        return candidates
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def search(self, chain: GemmChainSpec, seed: TransferSeed):
+        """Run the bounded local search; ``None`` means "fall back".
+
+        Returns a :class:`~repro.search.engine.SearchResult` with
+        ``mode="transfer"`` when the neighborhood's best plan passes the
+        acceptance bound.
+        """
+        from repro.search.engine import RankedPlan, SearchResult
+
+        start = time.perf_counter()
+        candidates = self.neighborhood(chain, seed)
+        if not candidates:
+            return None
+        pruner = Pruner(self.device, include_dsm=self.include_dsm)
+        survivors = [
+            (index, candidate)
+            for index, candidate in enumerate(candidates)
+            if pruner.passes(candidate)
+        ]
+        ordered = sorted(
+            (
+                (self.bounds.lower_bound(chain, candidate), index, candidate)
+                for index, candidate in survivors
+            ),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+
+        analyzed = 0
+        skipped = 0
+        ranked: List[Tuple[float, int, "RankedPlan"]] = []
+        worst_cost = math.inf
+        for lower_bound, index, candidate in ordered:
+            if len(ranked) >= self.top_k and lower_bound > worst_cost:
+                # Bounds are sorted ascending: every remaining candidate
+                # costs strictly more than the current K-th best, so the
+                # neighborhood top-K is complete.
+                skipped = len(ordered) - analyzed
+                break
+            result = self.analyzer.analyze(
+                chain,
+                candidate.schedule,
+                candidate.tile,
+                candidate.geometry,
+                gated_sequential=candidate.gated_sequential,
+            )
+            analyzed += 1
+            if self.require_feasible and not result.feasible:
+                continue
+            cost = self.cost_model.evaluate(result)
+            plan = RankedPlan(
+                candidate=candidate, result=result, predicted_cost_us=cost
+            )
+            ranked.append((cost, index, plan))
+            if len(ranked) >= self.top_k:
+                ranked.sort(key=lambda entry: (entry[0], entry[1]))
+                ranked = ranked[: self.top_k]
+                worst_cost = ranked[-1][0]
+        ranked.sort(key=lambda entry: (entry[0], entry[1]))
+        ranked = ranked[: self.top_k]
+        if not ranked:
+            return None
+
+        plans = [(plan, index) for _, index, plan in ranked]
+        if self.profiler is not None:
+            for plan, _ in plans:
+                plan.profiled_time_us = self.profiler(plan.result)
+            plans.sort(key=lambda pair: (pair[0].best_known_time_us, pair[1]))
+        top_k = [plan for plan, _ in plans]
+        best = top_k[0]
+
+        # Acceptance: the cost model must certify that the neighborhood
+        # holds a plan provably close to optimal — its cheapest predicted
+        # cost within the bound of the chain's absolute floor.  The
+        # certificate is the *minimum* over the top-K, not the profiled
+        # winner's cost: profiling may promote a plan the cost model ranks
+        # lower (exactly as the full search's final selection does), and
+        # that re-ranking must not void the certificate.
+        chain_bound = self.bounds.chain_lower_bound(chain)
+        certificate = min(plan.predicted_cost_us for plan in top_k)
+        if certificate > self.transfer_bound * chain_bound:
+            return None
+
+        elapsed = time.perf_counter() - start
+        stats = PruningStats(initial=len(candidates), surviving={})
+        return SearchResult(
+            chain=chain,
+            best=best,
+            top_k=top_k,
+            pruning_stats=stats,
+            candidates_enumerated=len(candidates),
+            candidates_analyzed=analyzed,
+            search_time_s=elapsed,
+            mode="transfer",
+            candidates_skipped=skipped,
+        )

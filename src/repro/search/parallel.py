@@ -49,6 +49,12 @@ from repro.hardware.spec import HardwareSpec
 from repro.ir.graph import GemmChainSpec
 from repro.search.cost_model import CostModel
 from repro.search.engine import ProfilerFn, RankedPlan, SearchEngine, SearchResult
+from repro.search.incremental import (
+    CandidateLowerBound,
+    SubchainAnalysisCache,
+    TransferSearch,
+    TransferSeed,
+)
 from repro.search.pruning import Pruner, PruningRule, PruningStats
 from repro.search.space import FusionCandidate, SearchSpace
 
@@ -105,6 +111,11 @@ class ShardTask:
     compute_efficiency: float
     start: int
     stop: int
+    #: Memoize kind-independent analysis cores within the worker process.
+    incremental: bool = True
+    #: Skip analyses whose admissible lower bound exceeds the shard-local
+    #: top-K threshold (plan-identical; only ``analyzed`` shrinks).
+    lower_bound_prune: bool = False
 
     def context_key(self) -> str:
         """Identity of the per-process search context this task can reuse."""
@@ -121,6 +132,8 @@ class ShardTask:
                 ],
                 self.include_dsm,
                 self.compute_efficiency,
+                self.incremental,
+                self.lower_bound_prune,
             ],
             sort_keys=True,
             default=str,
@@ -140,6 +153,9 @@ class ShardOutcome:
     #: at most ``keep`` of them, sorted by ``(cost, index)``.
     plans: List[Tuple[float, int, FusionCandidate, DataflowResult]]
     elapsed_s: float = 0.0
+    #: Candidates skipped by the admissible lower bound (0 unless the task
+    #: enables ``lower_bound_prune``).
+    skipped: int = 0
 
     @property
     def survival_rate(self) -> float:
@@ -163,10 +179,24 @@ class _ShardContext:
         self.chain = task.chain
         space = task.space.build(self.device)
         self.components = space.components(self.chain)
-        self.analyzer = DataflowAnalyzer(self.device, include_dsm=task.include_dsm)
+        self.analysis_cache = (
+            SubchainAnalysisCache(
+                context=json.dumps(
+                    self.device.fingerprint(), sort_keys=True, default=str
+                )
+            )
+            if task.incremental
+            else None
+        )
+        self.analyzer = DataflowAnalyzer(
+            self.device,
+            include_dsm=task.include_dsm,
+            analysis_cache=self.analysis_cache,
+        )
         self.cost_model = CostModel(
             self.device, compute_efficiency=task.compute_efficiency
         )
+        self.bounds = CandidateLowerBound(self.device, self.cost_model)
         self.pruner = Pruner(self.device, include_dsm=task.include_dsm)
         self._rule1: Dict[Tuple[int, int], bool] = {}
         self._rule2: Dict[int, bool] = {}
@@ -272,6 +302,8 @@ def _search_shard(task: ShardTask) -> ShardOutcome:
     """
     started = time.perf_counter()
     context = _context_for(task)
+    if task.lower_bound_prune:
+        return _search_shard_bounded(task, context, started)
     components = context.components
     decompose = components.decompose
 
@@ -337,6 +369,93 @@ def _search_shard(task: ShardTask) -> ShardOutcome:
         rule_counts=counts,
         plans=plans,
         elapsed_s=time.perf_counter() - started,
+    )
+
+
+def _search_shard_bounded(
+    task: ShardTask, context: _ShardContext, started: float
+) -> ShardOutcome:
+    """Shard search with admissible lower-bound skipping.
+
+    Scores candidates one at a time (the scalar scorer is bit-identical to
+    the batched one) while maintaining the shard-local top-``keep`` heap,
+    so a candidate whose lower bound strictly exceeds the current K-th
+    smallest cost is never analysed.  A skipped candidate's true cost is at
+    least its bound, hence strictly above the heap's worst entry — and a
+    later enumeration index loses cost ties anyway — so the returned plans
+    are exactly the ``keep`` smallest ``(cost, index)`` pairs of the chunk,
+    identical to the default path's; only ``analyzed`` shrinks.
+    """
+    components = context.components
+    decompose = components.decompose
+
+    counts = {rule: 0 for rule in PruningRule}
+    rules = (context.rule1, context.rule2, context.rule3, context.rule4, context.rule5)
+    rule_ids = tuple(PruningRule)
+
+    # Max-heap of (-cost, -index, candidate, result): the root is the worst
+    # (cost, index) of the current shard-local top-K.  Indices are unique,
+    # so tuple comparison never reaches the (unorderable) candidate.
+    heap: List[Tuple[float, int, FusionCandidate, DataflowResult]] = []
+    analyzed = 0
+    skipped = 0
+    for index in range(task.start, task.stop):
+        schedule_index, geometry_index, tile_index, gated_index = decompose(index)
+
+        alive = True
+        for rule_id, rule in zip(rule_ids, rules):
+            if not rule(schedule_index, geometry_index, tile_index):
+                alive = False
+                break
+            counts[rule_id] += 1
+        if not alive:
+            continue
+
+        candidate = FusionCandidate(
+            chain=context.chain,
+            schedule=components.schedules[schedule_index],
+            tile=components.tiles[tile_index],
+            geometry=components.geometries[geometry_index],
+            gated_sequential=components.gated_modes[gated_index],
+        )
+        if (
+            len(heap) == task.keep
+            and context.bounds.lower_bound(task.chain, candidate) > -heap[0][0]
+        ):
+            skipped += 1
+            continue
+        result = context.analyzer.analyze(
+            candidate.chain,
+            candidate.schedule,
+            candidate.tile,
+            candidate.geometry,
+            gated_sequential=candidate.gated_sequential,
+        )
+        analyzed += 1
+        if task.require_feasible and not result.feasible:
+            continue
+        cost = context.cost_model.evaluate(result)
+        if len(heap) < task.keep:
+            heapq.heappush(heap, (-cost, -index, candidate, result))
+        elif -heap[0][0] > cost:
+            heapq.heapreplace(heap, (-cost, -index, candidate, result))
+
+    plans = sorted(
+        (
+            (-neg_cost, -neg_index, candidate, result)
+            for neg_cost, neg_index, candidate, result in heap
+        ),
+        key=lambda entry: (entry[0], entry[1]),
+    )
+    return ShardOutcome(
+        start=task.start,
+        stop=task.stop,
+        enumerated=task.stop - task.start,
+        analyzed=analyzed,
+        rule_counts=counts,
+        plans=plans,
+        elapsed_s=time.perf_counter() - started,
+        skipped=skipped,
     )
 
 
@@ -464,6 +583,9 @@ class ParallelSearchEngine:
         parallelism: Optional[int] = None,
         executor: Optional[Executor] = None,
         sizer: Optional[AdaptiveShardSizer] = None,
+        incremental: bool = True,
+        lower_bound_prune: bool = False,
+        transfer_bound: float = 2.0,
     ) -> None:
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
@@ -475,6 +597,36 @@ class ParallelSearchEngine:
         self.cost_model = cost_model or CostModel(device)
         self.require_feasible = require_feasible
         self.max_candidates = max_candidates
+        self.incremental = incremental
+        self.lower_bound_prune = lower_bound_prune
+        self.transfer_bound = transfer_bound
+        # Warm-start transfer searches run inline in the parent (their
+        # neighborhoods are a few hundred candidates — not worth a pool
+        # round-trip) and share one analyzer so the subchain cache compounds
+        # across transfers.
+        self._transfer = TransferSearch(
+            device,
+            space=self.space,
+            cost_model=self.cost_model,
+            top_k=self.top_k,
+            include_dsm=self.include_dsm,
+            require_feasible=self.require_feasible,
+            transfer_bound=self.transfer_bound,
+            profiler=self.profiler,
+            analyzer=DataflowAnalyzer(
+                device,
+                include_dsm=self.include_dsm,
+                analysis_cache=(
+                    SubchainAnalysisCache(
+                        context=json.dumps(
+                            device.fingerprint(), sort_keys=True, default=str
+                        )
+                    )
+                    if incremental
+                    else None
+                ),
+            ),
+        )
         self.parallelism = max(
             1, parallelism if parallelism is not None else (os.cpu_count() or 1)
         )
@@ -488,8 +640,20 @@ class ParallelSearchEngine:
     # ------------------------------------------------------------------ #
     # Search
     # ------------------------------------------------------------------ #
-    def search(self, chain: GemmChainSpec) -> SearchResult:
-        """Find the best fused plan — identical to the serial engine's."""
+    def search(
+        self, chain: GemmChainSpec, transfer_seed: Optional[TransferSeed] = None
+    ) -> SearchResult:
+        """Find the best fused plan — identical to the serial engine's.
+
+        A ``transfer_seed`` (from a previously compiled nearby shape)
+        triggers a bounded local search first, exactly as in
+        :meth:`SearchEngine.search`; the sharded full enumeration only runs
+        when the transfer is rejected.
+        """
+        if transfer_seed is not None:
+            transferred = self._transfer.search(chain, transfer_seed)
+            if transferred is not None:
+                return transferred
         if self.max_candidates is not None:
             return self._serial_engine().search(chain)
         start = time.perf_counter()
@@ -527,6 +691,8 @@ class ParallelSearchEngine:
             compute_efficiency=self.cost_model.compute_efficiency,
             start=start,
             stop=stop,
+            incremental=self.incremental,
+            lower_bound_prune=self.lower_bound_prune,
         )
 
     def _total_too_small(self, total: int) -> bool:
@@ -588,11 +754,13 @@ class ParallelSearchEngine:
     ) -> SearchResult:
         initial = 0
         analyzed = 0
+        skipped = 0
         rule_counts = {rule: 0 for rule in PruningRule}
         entries: List[Tuple[float, int, FusionCandidate, DataflowResult]] = []
         for outcome in outcomes:
             initial += outcome.enumerated
             analyzed += outcome.analyzed
+            skipped += outcome.skipped
             for rule, count in outcome.rule_counts.items():
                 rule_counts[rule] += count
             entries.extend(outcome.plans)
@@ -623,6 +791,7 @@ class ParallelSearchEngine:
             candidates_enumerated=initial,
             candidates_analyzed=analyzed,
             search_time_s=elapsed_s,
+            candidates_skipped=skipped,
         )
 
     # ------------------------------------------------------------------ #
@@ -638,4 +807,7 @@ class ParallelSearchEngine:
             cost_model=self.cost_model,
             require_feasible=self.require_feasible,
             max_candidates=self.max_candidates,
+            incremental=self.incremental,
+            lower_bound_prune=self.lower_bound_prune,
+            transfer_bound=self.transfer_bound,
         )

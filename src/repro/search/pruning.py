@@ -245,6 +245,8 @@ class Pruner:
                 yield candidate
         self.stats = PruningStats(initial=initial, surviving=dict(counts))
 
-    def prune_list(self, candidates: Iterable[FusionCandidate]) -> List[FusionCandidate]:
+    def prune_list(
+        self, candidates: Iterable[FusionCandidate]
+    ) -> List[FusionCandidate]:
         """Materialised version of :meth:`prune`."""
         return list(self.prune(candidates))

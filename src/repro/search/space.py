@@ -17,7 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
-from repro.dataflow.loop_schedule import LoopSchedule, count_schedules, enumerate_schedules
+from repro.dataflow.loop_schedule import (
+    LoopSchedule,
+    count_schedules,
+    enumerate_schedules,
+)
 from repro.dataflow.tiling import TileConfig, candidate_tile_sizes
 from repro.dsm_comm.geometry import ClusterGeometry
 from repro.hardware.spec import HardwareSpec

@@ -60,11 +60,14 @@ class TestFuserConfig:
 
     def test_cache_key_fields_format_is_pinned(self):
         # The exact dict the plan cache folds into its keys.  Changing this
-        # invalidates every persisted plan cache; the seed format is pinned.
+        # invalidates every persisted plan cache; the transfer knobs joined
+        # in PR 7 because they can change which plan is selected.
         assert FuserConfig(top_k=5, max_tile=128).cache_key_fields() == {
             "top_k": 5,
             "include_dsm": True,
             "max_tile": 128,
+            "transfer": False,
+            "transfer_bound": 2.0,
         }
 
     def test_replace_returns_new_frozen_value(self):
@@ -191,9 +194,17 @@ class TestCacheKeyStability:
             config=FuserConfig(device="h100", top_k=5, max_tile=128, cache=cache)
         )
         assert old_style.cache_key(chain) == new_style.cache_key(chain)
-        # ... and both equal the seed key format, spelled out literally.
+        # ... and both equal the canonical key format, spelled out literally.
         assert old_style.cache_key(chain) == plan_cache_key(
-            chain, h100, {"top_k": 5, "include_dsm": True, "max_tile": 128}
+            chain,
+            h100,
+            {
+                "top_k": 5,
+                "include_dsm": True,
+                "max_tile": 128,
+                "transfer": False,
+                "transfer_bound": 2.0,
+            },
         )
 
     def test_old_compile_populates_cache_for_new_api(self, h100):

@@ -180,6 +180,7 @@ class TestSchemaStability:
             "by_kind",
             "by_source",
             "by_target",
+            "search",
         ]
         assert list(payload["phases"]) == ["cold", "warm"]
 
