@@ -62,6 +62,7 @@ from repro.bench import (
     Trace,
 )
 from repro.fleet import FleetConfig, FleetStats, ServingFleet
+from repro.analysis import OrderedLock, PlanVerifier, run_repo_lint
 
 __all__ = [
     "CompiledKernel",
@@ -103,6 +104,9 @@ __all__ = [
     "FleetConfig",
     "FleetStats",
     "ServingFleet",
+    "OrderedLock",
+    "PlanVerifier",
+    "run_repo_lint",
 ]
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"

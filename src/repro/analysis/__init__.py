@@ -1,0 +1,81 @@
+"""Static verification layer: plan verifier, repo linter, lock detector.
+
+Three independent tools that check invariants the rest of the stack keeps
+by convention:
+
+* :mod:`repro.analysis.verify` — semantic checks over cached execution
+  plans (capacity, legality, consistency, key agreement), wired into
+  every :class:`~repro.runtime.cache.PlanCache` disk load and exposed as
+  ``python -m repro.analysis audit <cache-dir>``.
+* :mod:`repro.analysis.lint` — AST checks over the source tree
+  (cache-key drift, lock discipline, banned nondeterminism, pinned
+  ``to_dict`` schemas, silent exception swallowing), exposed as
+  ``python -m repro.analysis lint``.
+* :mod:`repro.analysis.locks` — an instrumented lock wrapper that records
+  the cross-thread acquisition graph and flags ordering cycles and
+  unguarded shared-state access, activated via ``REPRO_LOCK_CHECK=1``.
+
+Submodules other than :mod:`~repro.analysis.locks` are loaded lazily:
+``locks`` is imported by low-level modules (``config``, ``hardware``)
+during package initialisation, so this ``__init__`` must not eagerly pull
+in the higher layers ``verify`` depends on.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.locks import (
+    LockMonitor,
+    LockOrderError,
+    OrderedLock,
+    UnguardedAccessError,
+    lock_monitor,
+    make_lock,
+    require_held,
+)
+
+_LAZY = {
+    "PlanVerifier": ("repro.analysis.verify", "PlanVerifier"),
+    "Violation": ("repro.analysis.verify", "Violation"),
+    "AuditReport": ("repro.analysis.verify", "AuditReport"),
+    "audit_cache_dir": ("repro.analysis.verify", "audit_cache_dir"),
+    "verify_model_plan": ("repro.analysis.verify", "verify_model_plan"),
+    "spec_from_fingerprint": ("repro.analysis.verify", "spec_from_fingerprint"),
+    "Linter": ("repro.analysis.lint", "Linter"),
+    "LintViolation": ("repro.analysis.lint", "LintViolation"),
+    "run_repo_lint": ("repro.analysis.lint", "run_repo_lint"),
+    "PLAN_NEUTRAL_CONFIG_FIELDS": (
+        "repro.analysis.lint",
+        "PLAN_NEUTRAL_CONFIG_FIELDS",
+    ),
+}
+
+__all__ = [
+    "AuditReport",
+    "LintViolation",
+    "Linter",
+    "LockMonitor",
+    "LockOrderError",
+    "OrderedLock",
+    "PLAN_NEUTRAL_CONFIG_FIELDS",
+    "PlanVerifier",
+    "UnguardedAccessError",
+    "Violation",
+    "audit_cache_dir",
+    "lock_monitor",
+    "make_lock",
+    "require_held",
+    "run_repo_lint",
+    "spec_from_fingerprint",
+    "verify_model_plan",
+]
+
+
+def __getattr__(name: str):
+    """Resolve the lazy exports (PEP 562)."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

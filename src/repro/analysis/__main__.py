@@ -1,0 +1,116 @@
+"""CLI for the static verification layer.
+
+Two subcommands, both exiting non-zero when they find problems (so CI can
+gate on them directly):
+
+``python -m repro.analysis lint [PATHS...]``
+    Run the repo-invariant linter over the installed ``repro`` package
+    (or over explicit paths).  Prints one line per violation.
+
+``python -m repro.analysis audit CACHE_DIR [--device NAME]``
+    Parse and semantically verify every plan-cache entry file in
+    ``CACHE_DIR``, printing a per-status summary and each bad entry's
+    violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import Linter, run_repo_lint
+
+    if args.paths:
+        import repro
+
+        package_root = Path(repro.__file__).parent
+        linter = Linter.for_package(package_root)
+        violations = []
+        for raw in args.paths:
+            path = Path(raw)
+            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for file in files:
+                resolved = file.resolve()
+                root = (
+                    package_root.resolve()
+                    if resolved.is_relative_to(package_root.resolve())
+                    else None
+                )
+                violations.extend(linter.lint_file(resolved, package_root=root))
+    else:
+        violations = run_repo_lint()
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} lint violation(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis.verify import audit_cache_dir
+
+    device = None
+    if args.device:
+        from repro.hardware.registry import get_device
+
+        device = get_device(args.device)
+    directory = Path(args.cache_dir)
+    if not directory.is_dir():
+        print(f"audit: {directory} is not a directory", file=sys.stderr)
+        return 2
+    report = audit_cache_dir(directory, device=device)
+    counts = report.counts
+    print(
+        "audit: {total} entries — {ok} ok, {stale} stale, {corrupt} corrupt, "
+        "{rejected} rejected".format(total=len(report.results), **counts)
+    )
+    for result in report.results:
+        if result.status == "ok":
+            continue
+        print(f"  {Path(result.path).name}: {result.status}")
+        for violation in result.violations:
+            print(f"    {violation}")
+    if not report.clean:
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="FlashFuser static verification tools",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    lint_parser = subparsers.add_parser("lint", help="run the repo-invariant linter")
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
+
+    audit_parser = subparsers.add_parser(
+        "audit", help="verify every entry in a plan-cache directory"
+    )
+    audit_parser.add_argument("cache_dir", help="plan-cache directory")
+    audit_parser.add_argument(
+        "--device",
+        default=None,
+        help="fallback device for entries without an embedded fingerprint",
+    )
+    audit_parser.set_defaults(func=_cmd_audit)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

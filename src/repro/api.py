@@ -31,6 +31,7 @@ from concurrent.futures import Executor, Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.analysis.locks import make_lock
 from repro.codegen.cuda_emitter import emit_cuda
 from repro.codegen.kernel_ir import KernelIR, lower_plan
 from repro.codegen.plan import ExecutionPlan
@@ -273,7 +274,7 @@ class FlashFuser:
         #: lock is reentrant because engine construction resolves per-device
         #: toolchains under the same lock.
         self._engines: Dict[Tuple[object, ...], object] = {}
-        self._engines_lock = threading.RLock()
+        self._engines_lock = make_lock("flashfuser-engines", reentrant=True)
         self._toolchains: Dict[str, Tuple[PerformanceSimulator, CostModel]] = {
             _DEFAULT_DEVICE_KEY: (self.simulator, self.cost_model)
         }
@@ -281,7 +282,7 @@ class FlashFuser:
         #: warm-start transfer searches even when no plan cache is attached.
         self._shapes = ShapeIndex()
         self._pool: Optional[ThreadPoolExecutor] = None
-        self._pool_lock = threading.Lock()
+        self._pool_lock = make_lock("flashfuser-pool")
 
     # ------------------------------------------------------------------ #
     # Config-derived views
@@ -357,7 +358,12 @@ class FlashFuser:
                 chain, config, device, transfer_seed=seed
             )
             if cache is not None and key is not None:
-                cache.store_kernel(key, kernel)
+                cache.store_kernel(
+                    key,
+                    kernel,
+                    device=device,
+                    search_config=config.cache_key_fields(),
+                )
         self._register_shape(chain, config, device, cache, key, kernel)
         return CompileResponse(
             kernel=kernel,

@@ -25,6 +25,7 @@ import warnings
 from dataclasses import dataclass, fields, replace as _dataclass_replace
 from typing import TYPE_CHECKING, Dict, Optional, Set, Union
 
+from repro.analysis.locks import make_lock
 from repro.hardware.registry import device_name_of, get_device
 from repro.hardware.spec import HardwareSpec
 
@@ -36,7 +37,7 @@ if TYPE_CHECKING:
 # Deprecation plumbing
 # --------------------------------------------------------------------- #
 _WARNED: Set[str] = set()
-_WARNED_LOCK = threading.Lock()
+_WARNED_LOCK = make_lock("deprecation-warned")
 
 
 def warn_deprecated(key: str, message: str, stacklevel: int = 3) -> None:

@@ -27,3 +27,31 @@ class FusionError(RuntimeError):
     ...     print(exc)
     no feasible fused plan for C4
     """
+
+
+class CacheEntryError(ValueError):
+    """Base class for unloadable plan-cache entry payloads.
+
+    :meth:`repro.runtime.cache.PlanCacheEntry.parse` raises a subclass so
+    the cache can count *why* a disk entry was unusable — a stale format
+    version and a corrupt payload are different operational signals (a
+    fleet seeing ``corrupt_entries`` climb is looking at disk trouble or
+    tampering; ``stale_entries`` climb after a deploy is expected churn).
+
+    Example
+    -------
+    >>> from repro.runtime.cache import PlanCacheEntry
+    >>> try:
+    ...     PlanCacheEntry.parse("not json at all")
+    ... except CacheEntryError as exc:
+    ...     print(type(exc).__name__)
+    CorruptCacheEntry
+    """
+
+
+class StaleCacheEntry(CacheEntryError):
+    """A disk cache entry written under a different format version."""
+
+
+class CorruptCacheEntry(CacheEntryError):
+    """A disk cache entry that does not parse into a well-formed payload."""

@@ -41,6 +41,7 @@ from typing import Dict, List, Mapping, Optional
 
 import multiprocessing
 
+from repro.analysis.locks import make_lock
 from repro.bench.traces import KIND_KERNEL, KIND_MODEL
 from repro.fleet.config import FleetConfig
 from repro.fleet.stats import FleetStats
@@ -223,7 +224,7 @@ class ServingFleet:
         self._ctx = multiprocessing.get_context(self.config.start_method)
         self._handles: List[_WorkerHandle] = []
         self._result_queue = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("fleet-router")
         self._pending: Dict[int, _Pending] = {}
         self._req_ids = itertools.count()
         self._stats_replies: Dict[str, Dict[str, Dict[str, object]]] = {}
@@ -308,7 +309,9 @@ class ServingFleet:
             if handle.task_queue is not None:
                 try:
                     handle.task_queue.put(("stop",))
-                except (OSError, ValueError):
+                except (OSError, ValueError):  # lint: allow[silent-except]
+                    # Best-effort shutdown: the queue may already be closed
+                    # by a worker that died; join/terminate below still runs.
                     pass
         for handle in self._handles:
             if handle.process is not None:

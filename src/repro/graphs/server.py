@@ -25,6 +25,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.analysis.locks import make_lock
 from repro.errors import FusionError
 
 from repro.api import CompiledKernel, CompileRequest
@@ -143,7 +144,7 @@ class ModelServer:
         # registry and memo share a lock because the backing request path is
         # built for concurrent serving threads.
         self._extractions: "OrderedDict[Tuple[str, int], Tuple[OperatorGraph, ExtractionResult]]" = OrderedDict()
-        self._lock = threading.RLock()
+        self._lock = make_lock("model-server", reentrant=True)
 
     # ------------------------------------------------------------------ #
     # Registration

@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, List, Optional, Union
 
+from repro.analysis.locks import make_lock
 from repro.hardware.spec import HardwareSpec, a100_spec, h100_spec
 
 #: A registry value: a ready spec, or a zero-argument factory producing one.
@@ -27,7 +28,7 @@ DEFAULT_DEVICE = "h100"
 
 _REGISTRY: Dict[str, DeviceEntry] = {}
 _RESOLVED: Dict[str, HardwareSpec] = {}
-_LOCK = threading.RLock()
+_LOCK = make_lock("device-registry", reentrant=True)
 
 
 def _normalize(name: str) -> str:

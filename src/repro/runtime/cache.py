@@ -16,6 +16,14 @@ excluded, so equally shaped chains share entries), the device fingerprint
 configuration.  Entries store the serialized plan, simulation report, search
 summary and traffic report; the kernel IR and CUDA source are regenerated
 deterministically from the plan on load.
+
+Disk entries are never trusted blindly: every load runs the typed parser
+(stale format versions and corrupt payloads are counted separately in
+:class:`CacheStats`) and then the semantic
+:class:`~repro.analysis.verify.PlanVerifier` — capacity, legality,
+consistency and key-agreement checks — before an entry may serve.  Since
+fleet warm-plan broadcasts adopt entries through this same path, replicas
+cannot be poisoned by a tampered or torn file either.
 """
 
 from __future__ import annotations
@@ -30,10 +38,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.analysis.locks import make_lock, require_held
+from repro.analysis.verify import PlanVerifier
 from repro.api import CompiledKernel
 from repro.codegen.cuda_emitter import emit_cuda
 from repro.codegen.kernel_ir import lower_plan
 from repro.codegen.plan import ExecutionPlan
+from repro.errors import CacheEntryError, CorruptCacheEntry, StaleCacheEntry
 from repro.hardware.spec import HardwareSpec
 from repro.ir.graph import GemmChainSpec
 from repro.search.engine import SearchSummary
@@ -73,7 +84,15 @@ def plan_cache_key(
 
 @dataclass
 class PlanCacheEntry:
-    """One cached compilation: serialized plan, report, search and traffic."""
+    """One cached compilation: serialized plan, report, search and traffic.
+
+    Entries written by this codebase also embed the device fingerprint and
+    search config they were compiled under, so the verifier can recompute
+    the cache key from the payload alone and re-check the plan against the
+    fingerprinted device's capacities; both fields are optional on read so
+    externally produced entries remain loadable (their device checks are
+    simply skipped).
+    """
 
     key: str
     plan: Dict[str, object]
@@ -81,9 +100,17 @@ class PlanCacheEntry:
     search: Dict[str, object]
     traffic: Dict[str, object]
     created_at: float = field(default_factory=time.time)
+    device: Optional[Dict[str, object]] = None
+    search_config: Optional[Dict[str, object]] = None
 
     @classmethod
-    def from_kernel(cls, key: str, kernel: CompiledKernel) -> "PlanCacheEntry":
+    def from_kernel(
+        cls,
+        key: str,
+        kernel: CompiledKernel,
+        device: Optional[HardwareSpec] = None,
+        search_config: Optional[Dict[str, object]] = None,
+    ) -> "PlanCacheEntry":
         """Serialize a freshly compiled kernel into a cache entry."""
         search = kernel.search
         summary = search if isinstance(search, SearchSummary) else search.summary()
@@ -97,6 +124,8 @@ class PlanCacheEntry:
                 "read_bytes": kernel.traffic.read_bytes,
                 "write_bytes": kernel.traffic.write_bytes,
             },
+            device=device.fingerprint() if device is not None else None,
+            search_config=dict(search_config) if search_config else None,
         )
 
     def rehydrate(self, chain: Optional[GemmChainSpec] = None) -> CompiledKernel:
@@ -123,52 +152,103 @@ class PlanCacheEntry:
     # JSON round trip ---------------------------------------------------- #
     def to_json(self) -> str:
         """Serialize the entry to a JSON document."""
-        return json.dumps(
-            {
-                "version": CACHE_FORMAT_VERSION,
-                "key": self.key,
-                "created_at": self.created_at,
-                "plan": self.plan,
-                "report": self.report,
-                "search": self.search,
-                "traffic": self.traffic,
-            },
-            sort_keys=True,
-        )
+        payload: Dict[str, object] = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": self.key,
+            "created_at": self.created_at,
+            "plan": self.plan,
+            "report": self.report,
+            "search": self.search,
+            "traffic": self.traffic,
+        }
+        if self.device is not None:
+            payload["device"] = self.device
+        if self.search_config is not None:
+            payload["search_config"] = self.search_config
+        return json.dumps(payload, sort_keys=True)
 
     @classmethod
-    def from_json(cls, blob: str) -> Optional["PlanCacheEntry"]:
-        """Parse a JSON document; returns ``None`` for unreadable/old data."""
+    def parse(cls, blob: str) -> "PlanCacheEntry":
+        """Parse a JSON document, classifying failures.
+
+        Raises :class:`~repro.errors.StaleCacheEntry` for a payload written
+        under a different :data:`CACHE_FORMAT_VERSION` (expected churn after
+        a format bump) and :class:`~repro.errors.CorruptCacheEntry` for
+        anything that does not decode into a well-formed entry (torn
+        writes, disk corruption, tampering).  The distinction feeds the
+        ``stale_entries`` / ``corrupt_entries`` counters of
+        :class:`CacheStats`.
+        """
         try:
             payload = json.loads(blob)
-        except (ValueError, TypeError):
-            return None
+        except (ValueError, TypeError) as exc:
+            raise CorruptCacheEntry(f"entry is not valid JSON: {exc}") from exc
         if not isinstance(payload, dict):
-            return None
-        if payload.get("version") != CACHE_FORMAT_VERSION:
-            return None
+            raise CorruptCacheEntry(
+                f"entry payload is a {type(payload).__name__}, not an object"
+            )
+        version = payload.get("version")
+        if version != CACHE_FORMAT_VERSION:
+            raise StaleCacheEntry(
+                f"entry format version {version!r} != {CACHE_FORMAT_VERSION}"
+            )
         try:
-            return cls(
+            entry = cls(
                 key=str(payload["key"]),
                 plan=payload["plan"],
                 report=payload["report"],
                 search=payload["search"],
                 traffic=payload["traffic"],
                 created_at=float(payload.get("created_at", 0.0)),
+                device=payload.get("device"),
+                search_config=payload.get("search_config"),
             )
-        except KeyError:
+        except KeyError as exc:
+            raise CorruptCacheEntry(f"entry is missing field {exc}") from exc
+        except (TypeError, ValueError) as exc:
+            raise CorruptCacheEntry(f"entry field has a bad type: {exc}") from exc
+        for name in ("plan", "report", "search", "traffic"):
+            if not isinstance(getattr(entry, name), dict):
+                raise CorruptCacheEntry(f"entry field {name!r} is not an object")
+        return entry
+
+    @classmethod
+    def from_json(cls, blob: str) -> Optional["PlanCacheEntry"]:
+        """Parse a JSON document; returns ``None`` for unreadable/old data.
+
+        Kept for callers that do not care *why* an entry is unusable; the
+        cache itself uses :meth:`parse` so it can count stale and corrupt
+        entries separately.
+        """
+        try:
+            return cls.parse(blob)
+        except CacheEntryError:
             return None
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`PlanCache`."""
+    """Hit/miss counters of one :class:`PlanCache`.
+
+    Beyond the classic hit/miss/store counters, the cache counts every way
+    a disk entry can fail to serve: ``stale_entries`` (old format version),
+    ``corrupt_entries`` (unparseable payload), ``rejected_entries``
+    (parsed, but failed semantic verification — capacity, legality or key
+    agreement) and ``io_errors`` (disk reads/writes that raised
+    ``OSError``).  Each failed load also counts as a miss, so serving
+    sources stay truthful; fleet operators watch the failure counters to
+    spot cache poisoning or disk trouble.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    stale_entries: int = 0
+    corrupt_entries: int = 0
+    rejected_entries: int = 0
+    io_errors: int = 0
 
     @property
     def hits(self) -> int:
@@ -184,16 +264,24 @@ class CacheStats:
         """Fraction of lookups that hit either tier."""
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def snapshot(self) -> Dict[str, object]:
-        """Plain-dictionary view of the counters."""
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary view of the counters (pinned key order)."""
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "stale_entries": self.stale_entries,
+            "corrupt_entries": self.corrupt_entries,
+            "rejected_entries": self.rejected_entries,
+            "io_errors": self.io_errors,
             "hit_rate": self.hit_rate(),
         }
+
+    def snapshot(self) -> Dict[str, object]:
+        """Alias of :meth:`to_dict` (symmetry with ``ServingStats``)."""
+        return self.to_dict()
 
 
 class PlanCache:
@@ -208,6 +296,14 @@ class PlanCache:
     max_memory_entries:
         LRU capacity of the in-process tier.  Evicted entries remain
         loadable from disk when a directory is configured.
+    verify:
+        Semantically verify disk entries at load time (default on).  A
+        corrupt, stale or invariant-violating entry — including one whose
+        tile footprint overflows the fingerprinted device — is treated as
+        a miss and counted in :class:`CacheStats`, so the request falls
+        through to a cold compile instead of serving a bad plan.  Fleet
+        broadcast adoption flows through the same read path, so replicas
+        verify plans before adopting them.
 
     All operations are thread-safe; the
     :class:`~repro.runtime.batch.BatchCompiler` relies on this to fan
@@ -231,6 +327,7 @@ class PlanCache:
         self,
         directory: Optional[Union[str, os.PathLike]] = None,
         max_memory_entries: int = 128,
+        verify: bool = True,
     ) -> None:
         if max_memory_entries < 1:
             raise ValueError("max_memory_entries must be >= 1")
@@ -241,7 +338,8 @@ class PlanCache:
             raise ValueError(f"cache directory {self.directory} is not a directory")
         self.max_memory_entries = max_memory_entries
         self.stats = CacheStats()
-        self._lock = threading.RLock()
+        self._verifier = PlanVerifier() if verify else None
+        self._lock = make_lock("plan-cache", reentrant=True)
         self._entries: "OrderedDict[str, PlanCacheEntry]" = OrderedDict()
         # Rehydrated kernels memoized per (key, served chain name) so hot
         # requests skip re-lowering; bounded by the same LRU capacity.
@@ -293,12 +391,22 @@ class PlanCache:
             return None
 
     def put(self, key: str, entry: PlanCacheEntry, write_disk: bool = True) -> None:
-        """Insert an entry into the memory tier and (optionally) to disk."""
+        """Insert an entry into the memory tier and (optionally) to disk.
+
+        A failed disk write (full disk, permissions, dying volume) is
+        counted in :attr:`CacheStats.io_errors` rather than raised: the
+        memory tier still holds the entry, so serving degrades to
+        per-process caching instead of failing the request that compiled
+        the kernel.
+        """
         with self._lock:
             self._remember(key, entry)
             self.stats.stores += 1
             if write_disk and self.directory is not None:
-                self._write_disk(key, entry)
+                try:
+                    self._write_disk(key, entry)
+                except OSError:
+                    self.stats.io_errors += 1
 
     def tier_of(self, key: str) -> Optional[str]:
         """Which tier currently holds ``key`` (without counting a lookup)."""
@@ -397,9 +505,23 @@ class PlanCache:
                 self._kernels.popitem(last=False)
         return kernel
 
-    def store_kernel(self, key: str, kernel: CompiledKernel) -> PlanCacheEntry:
-        """Serialize and store a freshly compiled kernel."""
-        entry = PlanCacheEntry.from_kernel(key, kernel)
+    def store_kernel(
+        self,
+        key: str,
+        kernel: CompiledKernel,
+        device: Optional[HardwareSpec] = None,
+        search_config: Optional[Dict[str, object]] = None,
+    ) -> PlanCacheEntry:
+        """Serialize and store a freshly compiled kernel.
+
+        ``device`` and ``search_config`` (when the caller knows them, as
+        :meth:`repro.api.FlashFuser.compile_request` does) are embedded in
+        the entry so loads can recompute the key from the payload and
+        re-check the plan against the fingerprinted device.
+        """
+        entry = PlanCacheEntry.from_kernel(
+            key, kernel, device=device, search_config=search_config
+        )
         with self._lock:
             self.put(key, entry)
             memo_key = (key, kernel.plan.chain.name)
@@ -441,6 +563,9 @@ class PlanCache:
     # Internals
     # ------------------------------------------------------------------ #
     def _remember(self, key: str, entry: PlanCacheEntry) -> None:
+        # Callers must hold the cache lock; checked when the lock-order
+        # detector is active (see repro.analysis.locks).
+        require_held(self._lock)
         self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_memory_entries:
@@ -455,14 +580,43 @@ class PlanCache:
         return self.directory / f"{key}.json"
 
     def _read_disk(self, key: str) -> Optional[PlanCacheEntry]:
+        """Load, classify and verify one disk entry (``None`` on failure).
+
+        Every failure mode is counted separately in :attr:`stats`: read
+        I/O errors, stale format versions, corrupt payloads, and entries
+        that parse but fail semantic verification (capacity overflow,
+        illegal schedule, key disagreement).  All of them surface to the
+        caller as a plain miss, so the serve path transparently recompiles
+        — and the recompile back-fills this same key with a good entry.
+        """
         if self.directory is None:
             return None
         path = self._disk_path(key)
         try:
             blob = path.read_text(encoding="utf-8")
-        except (OSError, FileNotFoundError):
+        except FileNotFoundError:
             return None
-        return PlanCacheEntry.from_json(blob)
+        except OSError:
+            with self._lock:
+                self.stats.io_errors += 1
+            return None
+        try:
+            entry = PlanCacheEntry.parse(blob)
+        except StaleCacheEntry:
+            with self._lock:
+                self.stats.stale_entries += 1
+            return None
+        except CorruptCacheEntry:
+            with self._lock:
+                self.stats.corrupt_entries += 1
+            return None
+        if self._verifier is not None:
+            violations = self._verifier.verify_entry(entry, expected_key=key)
+            if violations:
+                with self._lock:
+                    self.stats.rejected_entries += 1
+                return None
+        return entry
 
     def _write_disk(self, key: str, entry: PlanCacheEntry) -> None:
         """Atomically publish one entry to the shared disk store.

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+from repro.analysis.locks import make_lock
 from repro.api import CompiledKernel, CompileRequest, FlashFuser, KernelTable
 from repro.config import FuserConfig, warn_deprecated
 from repro.ir.graph import GemmChainSpec
@@ -168,7 +169,7 @@ class KernelServer:
         )
         self._tables: Dict[str, KernelTable] = {}
         self._chains: Dict[str, GemmChainSpec] = {}
-        self._lock = threading.RLock()
+        self._lock = make_lock("kernel-server", reentrant=True)
         # One lock per (workload, bin) so concurrent first requests for the
         # same kernel run a single search instead of racing duplicates.
         self._inflight: Dict[Tuple[str, int], threading.Lock] = {}
@@ -238,7 +239,8 @@ class KernelServer:
         if kernel is None:
             with self._lock:
                 inflight = self._inflight.setdefault(
-                    (key, bin_m), threading.Lock()
+                    (key, bin_m),
+                    make_lock(f"kernel-server.inflight[{key}:{bin_m}]"),
                 )
             with inflight:
                 # Another request may have resolved this bin while we waited.

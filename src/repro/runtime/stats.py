@@ -14,6 +14,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Mapping
 
+from repro.analysis.locks import make_lock
+
 
 @dataclass
 class LatencySummary:
@@ -116,7 +118,7 @@ class ServingStats:
         return source == cls.COMPILED or source.startswith(cls.COMPILED + ":")
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("serving-stats")
         self.requests = 0
         self.by_source: Counter = Counter()
         self.by_workload: Counter = Counter()

@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace as _dataclass_replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.locks import make_lock
 from repro.dataflow.analyzer import DataflowAnalyzer, SubchainAnalysis
 from repro.dataflow.footprint import io_tensor_traffic, tensor_size_bytes
 from repro.dataflow.loop_schedule import LoopSchedule
@@ -72,7 +73,7 @@ class SubchainAnalysisCache:
         self.context = context
         self.hits = 0
         self.misses = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("subchain-memo")
         self._entries: "OrderedDict[tuple, SubchainAnalysis]" = OrderedDict()
         self._tokens: Dict[GemmChainSpec, str] = {}
 
@@ -309,7 +310,7 @@ class ShapeIndex:
         if max_entries_per_family < 1:
             raise ValueError("max_entries_per_family must be >= 1")
         self.max_entries_per_family = max_entries_per_family
-        self._lock = threading.Lock()
+        self._lock = make_lock("shape-index")
         self._families: Dict[str, "OrderedDict[tuple, object]"] = {}
 
     def register(

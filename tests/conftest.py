@@ -53,3 +53,20 @@ def fast_compiler(h100):
 def compiled_small(fast_compiler, small_chain):
     """The small chain compiled once and shared across tests."""
     return fast_compiler.compile(small_chain)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_monitor_guard():
+    """Fail the session if the lock-order detector recorded violations.
+
+    Inert unless the suite runs with ``REPRO_LOCK_CHECK=1`` (the CI test
+    matrix does): every lock the serving stack creates is then an
+    instrumented OrderedLock, and any ordering cycle or unguarded access
+    observed anywhere in the suite fails here.  Tests that provoke
+    violations on purpose must reset the monitor before returning.
+    """
+    yield
+    from repro.analysis import locks
+
+    if locks.enabled():
+        locks.lock_monitor().assert_clean()

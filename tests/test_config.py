@@ -542,6 +542,9 @@ EXPECTED_EXPORTS = frozenset(
         "FleetConfig",
         "FleetStats",
         "ServingFleet",
+        "OrderedLock",
+        "PlanVerifier",
+        "run_repo_lint",
     }
 )
 
