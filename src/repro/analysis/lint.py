@@ -20,8 +20,10 @@ this module turns each into a machine check over the source tree
 ``nondeterminism``
     ``time.time()``, ``datetime.now()`` and unseeded module-level
     ``random`` calls are banned in the deterministic layers (search,
-    dataflow, codegen, simulation, IR, graphs, hardware): plans and costs
-    must be pure functions of their inputs or cache keys lose meaning.
+    dataflow, codegen, simulation, IR, graphs, hardware, obs): plans and
+    costs must be pure functions of their inputs or cache keys lose
+    meaning.  :data:`NONDETERMINISM_ALLOWLIST` exempts the one sanctioned
+    wall-clock authority (``obs/trace.py``) per file.
 ``to-dict-order``
     ``to_dict``/``snapshot`` methods returning a dict literal must pin the
     schema: constant, duplicate-free string keys and no ``**`` spreads, so
@@ -54,6 +56,9 @@ PLAN_NEUTRAL_CONFIG_FIELDS = frozenset(
         # Search *effort* knobs: same winner, different wall-clock.
         "parallelism",
         "incremental",
+        # Observability opt-in: spans and metrics observe the search, they
+        # never steer it (see repro.obs).
+        "trace",
     }
 )
 
@@ -67,7 +72,16 @@ DETERMINISTIC_PREFIXES = (
     "ir",
     "graphs",
     "hardware",
+    "obs",
 )
+
+#: Per-file exemptions from the nondeterminism check: the tracer is the
+#: one sanctioned wall-clock authority (span timestamps must be wall time
+#: to line up across processes); every other module obtains timestamps via
+#: ``repro.obs.trace.now_us`` instead of reading the clock itself.
+NONDETERMINISM_ALLOWLIST: Dict[str, frozenset] = {
+    "obs/trace.py": frozenset({"time.time"}),
+}
 
 #: Package-relative prefixes scanned for cache-key drift.
 KEY_DRIFT_PREFIXES = ("search", "graphs", "runtime/cache.py")
@@ -188,6 +202,7 @@ class _FileChecker:
         config_fields: Set[str],
         key_fields: Set[str],
         allowlist: frozenset,
+        nondeterminism_allow: frozenset = frozenset(),
     ) -> None:
         self.path = path
         self.tree = tree
@@ -195,6 +210,7 @@ class _FileChecker:
         self.config_fields = config_fields
         self.key_fields = key_fields
         self.allowlist = allowlist
+        self.nondeterminism_allow = nondeterminism_allow
         self.allowed = _allowed_lines(source)
         self.violations: List[LintViolation] = []
 
@@ -357,6 +373,8 @@ class _FileChecker:
                 continue
             base = func.value
             if isinstance(base, ast.Name) and base.id == "time" and func.attr == "time":
+                if "time.time" in self.nondeterminism_allow:
+                    continue
                 self.report(
                     CHECK_NONDETERMINISM,
                     node,
@@ -502,13 +520,17 @@ class Linter:
         deterministic: bool = False,
         key_drift: bool = False,
         checks: Optional[Sequence[str]] = None,
+        nondeterminism_allow: frozenset = frozenset(),
     ) -> List[LintViolation]:
         """Lint one source string.
 
         ``deterministic`` and ``key_drift`` opt the snippet into the
         path-scoped checks; the structural checks (lock discipline,
         to_dict order, silent except) always run unless ``checks``
-        restricts them explicitly.
+        restricts them explicitly.  ``nondeterminism_allow`` names
+        sanctioned nondeterministic calls (e.g. ``"time.time"``) that the
+        nondeterminism check skips for this file — see
+        :data:`NONDETERMINISM_ALLOWLIST`.
         """
         if checks is None:
             selected = [
@@ -541,6 +563,7 @@ class Linter:
             config_fields=self.config_fields,
             key_fields=self.key_fields,
             allowlist=self.allowlist,
+            nondeterminism_allow=nondeterminism_allow,
         )
         return checker.run()
 
@@ -557,6 +580,7 @@ class Linter:
             path=str(path),
             deterministic=rel.startswith(DETERMINISTIC_PREFIXES),
             key_drift=rel.startswith(KEY_DRIFT_PREFIXES),
+            nondeterminism_allow=NONDETERMINISM_ALLOWLIST.get(rel, frozenset()),
         )
 
     def lint_tree(self, package_root) -> List[LintViolation]:

@@ -40,6 +40,7 @@ from repro.errors import FusionError
 from repro.hardware.spec import HardwareSpec
 from repro.ir.graph import GemmChainSpec
 from repro.ir.workloads import get_workload
+from repro.obs.trace import tracer
 from repro.search.cost_model import CostModel
 from repro.search.engine import SearchEngine, SearchResult, SearchSummary
 from repro.search.incremental import (
@@ -348,23 +349,25 @@ class FlashFuser:
         cache = self._cache_for(config)
         key: Optional[str] = None
         kernel: Optional[CompiledKernel] = None
-        if cache is not None:
-            key = cache.key_for(chain, device, config.cache_key_fields())
-            kernel = cache.load_kernel(key, chain=chain)
-        cache_hit = kernel is not None
-        if kernel is None:
-            seed = self._transfer_seed(chain, config, device, cache)
-            kernel = self._compile_uncached(
-                chain, config, device, transfer_seed=seed
-            )
-            if cache is not None and key is not None:
-                cache.store_kernel(
-                    key,
-                    kernel,
-                    device=device,
-                    search_config=config.cache_key_fields(),
+        with tracer().span("compile.request", chain=chain.name) as span:
+            if cache is not None:
+                key = cache.key_for(chain, device, config.cache_key_fields())
+                kernel = cache.load_kernel(key, chain=chain)
+            cache_hit = kernel is not None
+            span.set("cache_hit", cache_hit)
+            if kernel is None:
+                seed = self._transfer_seed(chain, config, device, cache)
+                kernel = self._compile_uncached(
+                    chain, config, device, transfer_seed=seed
                 )
-        self._register_shape(chain, config, device, cache, key, kernel)
+                if cache is not None and key is not None:
+                    cache.store_kernel(
+                        key,
+                        kernel,
+                        device=device,
+                        search_config=config.cache_key_fields(),
+                    )
+            self._register_shape(chain, config, device, cache, key, kernel)
         return CompileResponse(
             kernel=kernel,
             request=request,
@@ -388,7 +391,17 @@ class FlashFuser:
         :class:`FusionError` from ``result()``.
         """
         pool = executor if executor is not None else self._ensure_pool()
-        return pool.submit(self.compile_request, request)
+        ctx = tracer().capture()
+        if ctx is None:
+            return pool.submit(self.compile_request, request)
+
+        def run() -> CompileResponse:
+            # Re-activate the submitter's trace context on the pool thread so
+            # the compile's spans stitch under the submitting request.
+            with tracer().activate(ctx):
+                return self.compile_request(request)
+
+        return pool.submit(run)
 
     # ------------------------------------------------------------------ #
     # Classic entry points

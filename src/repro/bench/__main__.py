@@ -32,6 +32,7 @@ from repro.bench.report import PerfReport, compare
 from repro.bench.traces import scenario_trace
 from repro.config import FuserConfig
 from repro.graphs.server import ModelServer
+from repro.obs import trace as obs_trace
 
 #: Default report artifact name (the repo's perf trajectory convention).
 DEFAULT_OUTPUT = "BENCH_bench.json"
@@ -201,6 +202,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyzed) are always exact and always on",
     )
     parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="enable request tracing (REPRO_TRACE) and write this process's "
+        "spans to the given JSONL path; fleet workers write sibling "
+        "spans-*.jsonl files into the same directory — inspect with "
+        "'python -m repro.obs summarize'",
+    )
+    parser.add_argument(
         "--max-hit-rate-drop",
         type=float,
         default=0.0,
@@ -232,6 +241,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     # Fail early on an unknown device instead of mid-replay.
     FuserConfig(device=config.device).resolve_device()
+
+    if args.trace_out is not None:
+        trace_out = Path(args.trace_out)
+        trace_out.parent.mkdir(parents=True, exist_ok=True)
+        # Publishing the directory via the environment lets spawned fleet
+        # workers flush their span files next to this process's.
+        obs_trace.enable(out_dir=trace_out.parent)
 
     if config.scenario == "fleet":
         runs: List[Tuple[int, PerfReport]] = []
@@ -281,6 +297,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for line in report.summary_lines():
             print(line)
         print(f"wrote {path}")
+
+    if args.trace_out is not None:
+        obs_trace.tracer().flush(args.trace_out)
+        print(f"wrote trace spans to {args.trace_out}")
 
     if args.baseline is not None:
         baseline = PerfReport.load(args.baseline)

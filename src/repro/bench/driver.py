@@ -32,6 +32,7 @@ from repro.bench.traces import KIND_KERNEL, KIND_MODEL, Trace, TraceRequest
 from repro.errors import FusionError
 from repro.graphs.server import ModelServer
 from repro.ir.workloads import MODEL_ZOO, get_workload
+from repro.obs.trace import tracer
 from repro.runtime.server import KernelServer
 
 
@@ -60,6 +61,11 @@ class RequestRecord:
     #: Search-effort counters (candidates enumerated / analyzed / skipped)
     #: reported by the stack when this request ran a fusion search.
     search_counters: Optional[Dict[str, int]] = None
+    #: The request's end-to-end trace id when ``REPRO_TRACE`` was on.
+    trace_id: Optional[str] = None
+    #: Per-phase search wall clock (enumerate_prune/analyze/rank/profile/
+    #: transfer, microseconds) when this request ran an in-process search.
+    phase_times_us: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
@@ -80,6 +86,8 @@ class RequestRecord:
             "source": self.source,
             "error": self.error,
             "search_counters": self.search_counters,
+            "trace_id": self.trace_id,
+            "phase_times_us": self.phase_times_us,
         }
 
 
@@ -306,32 +314,50 @@ class LoadDriver:
         source = "error"
         error: Optional[str] = None
         search_counters: Optional[Dict[str, int]] = None
-        try:
-            if self.fleet is not None:
-                fleet_response = self.fleet.serve(
-                    request.target, request.m, kind=request.kind
-                )
-                if fleet_response.source is not None:
-                    source = fleet_response.source
-                if fleet_response.rejected:
-                    error = (
-                        "rejected: fleet admission watermark "
-                        f"(retry after {fleet_response.retry_after_s:.3f}s)"
+        phase_times_us: Optional[Dict[str, float]] = None
+        with tracer().root(
+            "request",
+            kind=request.kind,
+            target=request.target,
+            m=request.m,
+            phase=request.phase,
+        ) as span:
+            try:
+                if self.fleet is not None:
+                    fleet_response = self.fleet.serve(
+                        request.target, request.m, kind=request.kind
                     )
+                    if fleet_response.source is not None:
+                        source = fleet_response.source
+                    if fleet_response.rejected:
+                        error = (
+                            "rejected: fleet admission watermark "
+                            f"(retry after {fleet_response.retry_after_s:.3f}s)"
+                        )
+                    else:
+                        error = fleet_response.error
+                    search_counters = getattr(
+                        fleet_response, "search_counters", None
+                    )
+                elif request.kind == KIND_KERNEL:
+                    response = self.kernels.request(request.target, request.m)
+                    source = response.source
+                    search_counters = response.search_counters
+                    phase_times_us = getattr(response, "phase_times_us", None)
                 else:
-                    error = fleet_response.error
-                search_counters = getattr(fleet_response, "search_counters", None)
-            elif request.kind == KIND_KERNEL:
-                response = self.kernels.request(request.target, request.m)
-                source = response.source
-                search_counters = response.search_counters
-            else:
-                assert self.models is not None  # _prepare guarantees this
-                model_response = self.models.serve(request.target, m=request.m)
-                source = model_response.source
-                search_counters = model_response.search_counters
-        except FusionError as exc:
-            error = f"FusionError: {exc}"
+                    assert self.models is not None  # _prepare guarantees this
+                    model_response = self.models.serve(
+                        request.target, m=request.m
+                    )
+                    source = model_response.source
+                    search_counters = model_response.search_counters
+                    phase_times_us = getattr(
+                        model_response, "phase_times_us", None
+                    )
+            except FusionError as exc:
+                error = f"FusionError: {exc}"
+            span.set("source", source)
+            trace_id = span.trace_id
         wall_us = (time.perf_counter() - issued) * 1e6
         return RequestRecord(
             index=index,
@@ -345,4 +371,6 @@ class LoadDriver:
             source=source,
             error=error,
             search_counters=search_counters,
+            trace_id=trace_id,
+            phase_times_us=phase_times_us,
         )

@@ -19,7 +19,17 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.bench.driver import ReplayResult, RequestRecord
+from repro.obs.metrics import percentile
 from repro.runtime.stats import ServingStats
+
+__all__ = [
+    "PerfReport",
+    "ReportDelta",
+    "compare",
+    "percentile",
+    "REPORT_SCHEMA_VERSION",
+    "TIMING_KEYS",
+]
 
 #: Schema version stamped into serialized reports.
 REPORT_SCHEMA_VERSION = 1
@@ -34,34 +44,16 @@ TIMING_KEYS = (
     "queue_depth",
     "split",
     "speedups",
+    # Per-stage search-time attribution is wall clock by definition.
+    "stages",
     # The fleet block (router counters, per-worker depths) depends on how
     # requests raced across workers, so it is timing-dependent too.
     "fleet",
 )
 
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile of ``values`` (linear interpolation).
-
-    Example
-    -------
-    >>> percentile([10.0, 20.0, 30.0, 40.0], 50)
-    25.0
-    >>> percentile([7.0], 99)
-    7.0
-    """
-    if not values:
-        return 0.0
-    if not 0 <= q <= 100:
-        raise ValueError("q must be in [0, 100]")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    position = (len(ordered) - 1) * q / 100.0
-    lower = int(position)
-    upper = min(lower + 1, len(ordered) - 1)
-    fraction = position - lower
-    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+# percentile() historically lived here; it is now the shared implementation
+# in repro.obs.metrics (also backing the live histogram summaries) and is
+# re-exported under its old name for existing callers.
 
 
 def _latency_block(walls: Sequence[float]) -> Dict[str, float]:
@@ -99,6 +91,34 @@ def _search_totals(records: Sequence[RequestRecord]) -> Dict[str, int]:
         for counter in totals:
             totals[counter] += int(record.search_counters.get(counter, 0))
     return totals
+
+
+def _stage_block(records: Sequence[RequestRecord]) -> Dict[str, object]:
+    """Per-search-stage wall-clock attribution over the replay.
+
+    Sums the per-stage microsecond timings the search engines attach to
+    compile responses (enumerate+prune, analyze, rank, profile, transfer)
+    and expresses each as a fraction of the covered compile wall clock —
+    the "compile wall = X% prune, Y% analyze, Z% profile" block.  Requests
+    that never ran a search contribute nothing.
+    """
+    totals: Dict[str, float] = {}
+    covered = 0
+    for record in records:
+        if not record.phase_times_us:
+            continue
+        covered += 1
+        for stage, stage_us in record.phase_times_us.items():
+            totals[stage] = totals.get(stage, 0.0) + float(stage_us)
+    total_us = sum(totals.values())
+    return {
+        "covered_requests": covered,
+        "total_us": {stage: totals[stage] for stage in sorted(totals)},
+        "fraction": {
+            stage: (totals[stage] / total_us if total_us > 0 else 0.0)
+            for stage in sorted(totals)
+        },
+    }
 
 
 def _phase_block(records: Sequence[RequestRecord]) -> Dict[str, object]:
@@ -262,6 +282,7 @@ class PerfReport:
                 ),
             },
             "speedups": cls._speedups(phase_blocks),
+            "stages": _stage_block(ok),
         }
         if fleet is not None:
             payload["fleet"] = dict(fleet)
@@ -398,6 +419,16 @@ class PerfReport:
             )
         for label, value in self.payload["speedups"].items():  # type: ignore[union-attr]
             lines.append(f"  speedup {label}: {value:.1f}x")
+        stages = dict(self.payload.get("stages") or {})
+        fractions = dict(stages.get("fraction") or {})
+        if fractions:
+            attribution = ", ".join(
+                f"{stage} {fraction:.1%}"
+                for stage, fraction in sorted(
+                    fractions.items(), key=lambda item: -item[1]
+                )
+            )
+            lines.append(f"  compile wall: {attribution}")
         return lines
 
 

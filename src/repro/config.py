@@ -106,6 +106,11 @@ class FuserConfig:
         engines, so e.g. a gated-FFN search reuses its standard-FFN prefix
         work.  Plan-neutral (selected plans are bit-identical either way),
         so never part of the cache key.
+    trace:
+        Observability opt-in carried alongside the compile knobs (see
+        :mod:`repro.obs.trace`; the ``REPRO_TRACE`` environment variable is
+        the usual switch).  Plan-neutral by construction — tracing can never
+        change a selected plan — so never part of the cache key.
 
     Example
     -------
@@ -127,6 +132,7 @@ class FuserConfig:
     transfer: bool = False
     transfer_bound: float = 2.0
     incremental: bool = True
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.top_k < 1:
@@ -224,6 +230,7 @@ class FuserConfig:
             "transfer": self.transfer,
             "transfer_bound": self.transfer_bound,
             "incremental": self.incremental,
+            "trace": self.trace,
         }
 
     @classmethod

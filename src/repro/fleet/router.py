@@ -31,13 +31,14 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import logging
 import shutil
 import tempfile
 import threading
 import time
 from concurrent.futures import Future, TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import multiprocessing
 
@@ -47,6 +48,10 @@ from repro.fleet.config import FleetConfig
 from repro.fleet.stats import FleetStats
 from repro.fleet.worker import worker_main
 from repro.ir.workloads import MODEL_ZOO, get_workload
+from repro.obs.logging import get_logger, log_event
+from repro.obs.trace import tracer
+
+_logger = get_logger(__name__)
 
 #: Statuses a :class:`FleetResponse` can carry.
 STATUS_OK = "ok"
@@ -166,6 +171,9 @@ class _Pending:
     future: "Future[Dict[str, object]]"
     worker: int = -1
     retries: int = 0
+    #: Trace wire context (trace_id, parent span_id, sent timestamp) riding
+    #: the task tuple to the worker; ``None`` when tracing is off.
+    wire: Optional[Tuple[str, str, float]] = None
 
 
 class _WorkerHandle:
@@ -368,33 +376,38 @@ class ServingFleet:
         bin_m = self._bin_for(m)
         key = FleetRouter.affinity_key(kind, target, bin_m)
         future: "Future[Dict[str, object]]" = Future()
-        with self._lock:
-            inflight = len(self._pending)
-            if worker is None and inflight >= self.config.watermark:
-                self._counters["rejected"] += 1
-                excess = inflight - self.config.watermark
-                retry_after = self.config.retry_after_s * (
-                    1.0 + excess / max(1, self.config.watermark)
-                )
-                return FleetResponse(
+        with tracer().span("router.dispatch", key=key) as dspan:
+            wire = tracer().wire_context()
+            with self._lock:
+                inflight = len(self._pending)
+                if worker is None and inflight >= self.config.watermark:
+                    self._counters["rejected"] += 1
+                    excess = inflight - self.config.watermark
+                    retry_after = self.config.retry_after_s * (
+                        1.0 + excess / max(1, self.config.watermark)
+                    )
+                    dspan.set("rejected", True)
+                    return FleetResponse(
+                        kind=kind,
+                        target=target,
+                        m=m,
+                        status=STATUS_REJECTED,
+                        retry_after_s=retry_after,
+                        latency_us=(time.perf_counter() - start) * 1e6,
+                    )
+                handle = self._pick_handle(key, worker)
+                pending = _Pending(
+                    req_id=next(self._req_ids),
                     kind=kind,
                     target=target,
                     m=m,
-                    status=STATUS_REJECTED,
-                    retry_after_s=retry_after,
-                    latency_us=(time.perf_counter() - start) * 1e6,
+                    key=key,
+                    future=future,
+                    wire=wire,
                 )
-            handle = self._pick_handle(key, worker)
-            pending = _Pending(
-                req_id=next(self._req_ids),
-                kind=kind,
-                target=target,
-                m=m,
-                key=key,
-                future=future,
-            )
-            self._counters["routed"] += 1
-            self._dispatch(pending, handle)
+                self._counters["routed"] += 1
+                self._dispatch(pending, handle)
+            dspan.set("worker", pending.worker)
         try:
             payload = future.result(timeout=self.config.request_timeout_s)
         except FutureTimeoutError:
@@ -566,13 +579,19 @@ class ServingFleet:
         return self._handles[self.router.route(key, candidates)]
 
     def _dispatch(self, pending: _Pending, handle: _WorkerHandle) -> None:
-        """Send one request to one worker (caller holds the lock)."""
+        """Send one request to one worker (caller holds the lock).
+
+        The task tuple is ``("serve", req_id, kind, target, m)``, extended
+        with the trace wire context as an optional sixth element when the
+        request carries one (workers tolerate both arities).
+        """
         pending.worker = handle.worker_id
         self._pending[pending.req_id] = pending
         handle.inflight.add(pending.req_id)
-        handle.task_queue.put(
-            ("serve", pending.req_id, pending.kind, pending.target, pending.m)
-        )
+        task = ("serve", pending.req_id, pending.kind, pending.target, pending.m)
+        if pending.wire is not None:
+            task = task + (pending.wire,)
+        handle.task_queue.put(task)
 
     def _spawn(self, handle: _WorkerHandle) -> None:
         """Start (or restart) one worker process (caller holds no/any lock)."""
@@ -593,6 +612,13 @@ class ServingFleet:
             daemon=True,
         )
         handle.process.start()
+        log_event(
+            _logger,
+            "worker-start" if handle.incarnation == 0 else "worker-respawn",
+            worker=handle.worker_id,
+            incarnation=handle.incarnation,
+            pid=handle.process.pid,
+        )
 
     # ----------------------------- threads ---------------------------- #
     def _collect_loop(self) -> None:
@@ -673,6 +699,14 @@ class ServingFleet:
             self._counters["restarts"] += 1
             if orphaned:
                 self._counters["failovers"] += 1
+            log_event(
+                _logger,
+                "worker-death",
+                level=logging.WARNING,
+                worker=handle.worker_id,
+                incarnation=handle.incarnation,
+                orphaned=len(orphaned),
+            )
             self._spawn(handle)
             for pending in orphaned:
                 pending.retries += 1

@@ -12,7 +12,12 @@ the worker's kernel tables.
 The queue protocol is deliberately tiny (plain tuples of primitives):
 
 Task queue (router -> worker)
-    ``("serve", req_id, kind, target, m)`` — serve one request.
+    ``("serve", req_id, kind, target, m)`` — serve one request.  When the
+    router's request carries an active trace, a sixth element extends the
+    tuple: the :meth:`~repro.obs.trace.Tracer.wire_context` triple
+    ``(trace_id, parent_span_id, sent_us)``; workers adopt it so their
+    spans stitch into the router-side trace (and ``sent_us`` yields a
+    queue-wait span).  Workers accept both arities.
     ``("warm", kind, target, m)`` — adopt a plan from the shared cache
     (the warm-plan broadcast; no fusion search ever runs).
     ``("stats", token)`` — snapshot and report this worker's metrics.
@@ -43,7 +48,12 @@ from repro.errors import FusionError
 from repro.fleet.config import FleetConfig
 from repro.graphs.server import ModelServer
 from repro.ir.workloads import MODEL_ZOO
+from repro.obs import trace as obs_trace
+from repro.obs.logging import get_logger, log_event
+from repro.obs.trace import set_process_tag, tracer
 from repro.runtime.stats import ServingStats
+
+_logger = get_logger(__name__)
 
 #: Resolution source reported for the first serve from a broadcast-warmed
 #: table entry: the shape was cold-compiled by a *different* worker and
@@ -204,8 +214,16 @@ def worker_main(
     task_queue, result_queue:
         The ``multiprocessing`` queues described in the module docstring.
     """
+    set_process_tag(f"w{worker_id}-i{incarnation}")
     config = FleetConfig.from_dict(config_payload)
     worker = FleetWorker(worker_id, incarnation, config, cache_dir)
+    log_event(
+        _logger,
+        "worker-serving",
+        worker=worker_id,
+        incarnation=incarnation,
+        cache_dir=cache_dir,
+    )
     result_queue.put(("ready", worker_id, incarnation))
     try:
         while True:
@@ -214,8 +232,23 @@ def worker_main(
             if op == "stop":
                 break
             if op == "serve":
-                _, req_id, kind, target, m = task
-                payload = worker.serve(kind, target, m)
+                _, req_id, kind, target, m = task[:5]
+                wire = task[5] if len(task) > 5 else None
+                with tracer().adopt(wire):
+                    if wire is not None and obs_trace.enabled():
+                        # The gap between the router's send timestamp and
+                        # now is time the task sat in this worker's queue.
+                        tracer().emit(
+                            "worker.queue_wait",
+                            start_us=float(wire[2]),
+                            end_us=obs_trace.now_us(),
+                            worker=worker_id,
+                        )
+                    with tracer().span(
+                        "worker.serve", worker=worker_id, target=target
+                    ) as span:
+                        payload = worker.serve(kind, target, m)
+                        span.set("source", payload.get("source"))
                 if payload.pop("compiled"):
                     result_queue.put(
                         ("compiled", worker_id, incarnation, kind, target, m)
@@ -239,3 +272,8 @@ def worker_main(
                 )
     finally:
         worker.close()
+        if obs_trace.enabled():
+            tracer().flush()
+        log_event(
+            _logger, "worker-exit", worker=worker_id, incarnation=incarnation
+        )

@@ -33,6 +33,7 @@ from repro.graphs.extract import ChainMatch, ExtractionResult, extract_chains
 from repro.graphs.plan import SOURCE_SIMULATED, ModelPlan, assemble_plan
 from repro.ir.graph import OperatorGraph
 from repro.ir.workloads import ModelConfig, get_model
+from repro.obs.trace import tracer
 from repro.runtime.server import (
     SOURCE_CACHE_DISK,
     SOURCE_CACHE_MEMORY,
@@ -80,6 +81,9 @@ class ModelServeResponse:
     #: Search-effort counters summed over every chain that ran a fusion
     #: search this serve (``None`` when all chains were hits).
     search_counters: Optional[Dict[str, int]] = None
+    #: Per-phase search wall clock summed over every chain that ran a
+    #: fusion search this serve (``None`` when all chains were hits).
+    phase_times_us: Optional[Dict[str, float]] = None
 
     @property
     def time_us(self) -> float:
@@ -204,46 +208,62 @@ class ModelServer:
         factory to serve variable shapes.
         """
         start = time.perf_counter()
-        graph, extraction, effective_m = self._materialize(name, m)
-        settled = self._resolve_all(extraction.matches)
-        sources: Dict[str, str] = {
-            chain_name: outcome[1]
-            for chain_name, outcome in settled.items()
-            if not isinstance(outcome, FusionError)
-        }
-        search_counters: Optional[Dict[str, int]] = None
-        for outcome in settled.values():
-            if isinstance(outcome, FusionError) or outcome[4] is None:
-                continue
-            if search_counters is None:
-                search_counters = dict.fromkeys(outcome[4], 0)
-            for counter, value in outcome[4].items():
-                search_counters[counter] = search_counters.get(counter, 0) + value
+        with tracer().span("model.serve", model=name, m=m) as span:
+            graph, extraction, effective_m = self._materialize(name, m)
+            settled = self._resolve_all(extraction.matches)
+            sources: Dict[str, str] = {
+                chain_name: outcome[1]
+                for chain_name, outcome in settled.items()
+                if not isinstance(outcome, FusionError)
+            }
+            search_counters: Optional[Dict[str, int]] = None
+            phase_times_us: Optional[Dict[str, float]] = None
+            for outcome in settled.values():
+                if isinstance(outcome, FusionError):
+                    continue
+                if outcome[4] is not None:
+                    if search_counters is None:
+                        search_counters = dict.fromkeys(outcome[4], 0)
+                    for counter, value in outcome[4].items():
+                        search_counters[counter] = (
+                            search_counters.get(counter, 0) + value
+                        )
+                if outcome[5] is not None:
+                    if phase_times_us is None:
+                        phase_times_us = {}
+                    for stage, micros in outcome[5].items():
+                        phase_times_us[stage] = (
+                            phase_times_us.get(stage, 0.0) + micros
+                        )
 
-        def resolve(match: ChainMatch) -> Tuple[CompiledKernel, str, bool, float]:
-            outcome = settled[match.chain.name]
-            if isinstance(outcome, FusionError):
-                raise outcome
-            kernel, source, cache_hit, charged_us, _ = outcome
-            return kernel, source, cache_hit, charged_us
+            def resolve(
+                match: ChainMatch,
+            ) -> Tuple[CompiledKernel, str, bool, float]:
+                outcome = settled[match.chain.name]
+                if isinstance(outcome, FusionError):
+                    raise outcome
+                kernel, source, cache_hit, charged_us = outcome[:4]
+                return kernel, source, cache_hit, charged_us
 
-        plan = assemble_plan(graph.name, extraction, resolve, self.simulator)
-        source = max(
-            (value for value in sources.values()),
-            key=lambda value: _SOURCE_COST.get(value, 0),
-            default=SOURCE_SIMULATED,
-        )
-        latency_us = (time.perf_counter() - start) * 1e6
-        self.stats.record_request(name, source, latency_us)
-        return ModelServeResponse(
-            model=name,
-            m=effective_m,
-            plan=plan,
-            sources=sources,
-            source=source,
-            latency_us=latency_us,
-            search_counters=search_counters,
-        )
+            plan = assemble_plan(graph.name, extraction, resolve, self.simulator)
+            source = max(
+                (value for value in sources.values()),
+                key=lambda value: _SOURCE_COST.get(value, 0),
+                default=SOURCE_SIMULATED,
+            )
+            latency_us = (time.perf_counter() - start) * 1e6
+            self.stats.record_request(name, source, latency_us)
+            span.set("source", source)
+            return ModelServeResponse(
+                model=name,
+                m=effective_m,
+                plan=plan,
+                sources=sources,
+                source=source,
+                latency_us=latency_us,
+                search_counters=search_counters,
+                phase_times_us=phase_times_us,
+            )
 
     def warm_from_cache(self, name: str, m: Optional[int] = None) -> int:
         """Warm every chain of model ``name`` at ``m`` from the plan cache.
@@ -300,7 +320,14 @@ class ModelServer:
     ) -> Dict[
         str,
         Union[
-            Tuple[CompiledKernel, str, bool, float, Optional[Dict[str, int]]],
+            Tuple[
+                CompiledKernel,
+                str,
+                bool,
+                float,
+                Optional[Dict[str, int]],
+                Optional[Dict[str, float]],
+            ],
             FusionError,
         ],
     ]:
@@ -311,9 +338,17 @@ class ModelServer:
             return {
                 match.chain.name: self._settle(match) for match in matches
             }
+        ctx = tracer().capture()
+
+        def settle(match: ChainMatch):
+            # Re-activate the serve's trace context on the pool thread so
+            # each chain's resolution spans stitch under the model serve.
+            with tracer().activate(ctx):
+                return self._settle(match)
+
         with ThreadPoolExecutor(max_workers=min(8, len(matches))) as pool:
             futures = {
-                match.chain.name: pool.submit(self._settle, match)
+                match.chain.name: pool.submit(settle, match)
                 for match in matches
             }
             return {name: future.result() for name, future in futures.items()}
@@ -321,12 +356,19 @@ class ModelServer:
     def _settle(
         self, match: ChainMatch
     ) -> Union[
-        Tuple[CompiledKernel, str, bool, float, Optional[Dict[str, int]]],
+        Tuple[
+            CompiledKernel,
+            str,
+            bool,
+            float,
+            Optional[Dict[str, int]],
+            Optional[Dict[str, float]],
+        ],
         FusionError,
     ]:
         """One chain's (kernel, source, cache_hit, charged time, search
-        counters), or its FusionError (kept as a value so sibling chains
-        still resolve)."""
+        counters, phase times), or its FusionError (kept as a value so
+        sibling chains still resolve)."""
         try:
             response = self.server.request(CompileRequest(chain=match.chain))
         except FusionError as exc:
@@ -343,6 +385,7 @@ class ModelServer:
             cache_hit,
             response.kernel.time_us * waves,
             getattr(response, "search_counters", None),
+            getattr(response, "phase_times_us", None),
         )
 
     def _materialize(

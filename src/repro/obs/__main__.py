@@ -1,0 +1,77 @@
+"""``python -m repro.obs`` — inspect exported trace span files.
+
+``summarize`` loads one or more JSONL span files (or directories of
+them), stitches spans into traces, and prints the per-stage time
+breakdown plus the critical path of the slowest trace; ``--chrome``
+additionally writes Chrome trace-event JSON loadable in Perfetto
+(https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.obs.summary import (
+    format_summary,
+    load_spans,
+    summarize,
+    to_chrome_trace,
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect JSONL span files exported by repro.obs.trace.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    summ = sub.add_parser(
+        "summarize",
+        help="print per-stage and critical-path breakdowns of a trace",
+    )
+    summ.add_argument(
+        "paths",
+        nargs="+",
+        help="span .jsonl files or directories containing them",
+    )
+    summ.add_argument(
+        "--chrome",
+        default=None,
+        help="also write Chrome trace-event JSON (open in Perfetto) here",
+    )
+    summ.add_argument(
+        "--fail-on-orphans",
+        action="store_true",
+        help="exit non-zero when any span's parent is missing from the "
+        "input (incomplete stitching)",
+    )
+    args = parser.parse_args(argv)
+
+    spans = load_spans(args.paths)
+    if not spans:
+        print("no spans found", file=sys.stderr)
+        return 1
+    summary = summarize(spans)
+    for line in format_summary(summary):
+        print(line)
+    if args.chrome:
+        path = Path(args.chrome)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(to_chrome_trace(spans), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {path}")
+    if args.fail_on_orphans and int(summary["orphans"]) > 0:
+        print(f"ERROR: {summary['orphans']} orphan span(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""Structured logging under the ``repro.*`` logger namespace.
+
+The stack logs rare, operationally meaningful events — a fleet worker
+starting, dying, or being respawned; a cache entry rejected by the
+verifier; a transfer search falling back to full enumeration — as one
+structured ``key=value`` line each, through standard :mod:`logging`
+loggers named ``repro.<module>``.
+
+By default the ``repro`` root logger carries a :class:`logging.NullHandler`
+and nothing is printed (library etiquette: the embedding application owns
+the handlers).  Setting ``REPRO_LOG_LEVEL`` (e.g. ``INFO``, ``DEBUG``)
+attaches a stderr handler at that level, which is the operator's one-knob
+way to see fleet lifecycle events::
+
+    REPRO_LOG_LEVEL=INFO python -m repro.bench --scenario fleet ...
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+#: Environment variable selecting the log level (DEBUG/INFO/WARNING/...).
+#: Unset means "no output" (NullHandler only).
+ENV_LEVEL = "REPRO_LOG_LEVEL"
+
+#: Root of the namespace every stack logger lives under.
+ROOT_LOGGER = "repro"
+
+_configured = False
+
+
+def configure(level: Optional[str] = None) -> logging.Logger:
+    """Configure the ``repro`` root logger once and return it.
+
+    Parameters
+    ----------
+    level:
+        Level name; defaults to :data:`ENV_LEVEL`.  When neither is set,
+        only a :class:`logging.NullHandler` is attached and nothing is
+        emitted.
+    """
+    global _configured
+    root = logging.getLogger(ROOT_LOGGER)
+    if _configured:
+        return root
+    _configured = True
+    root.addHandler(logging.NullHandler())
+    chosen = level if level is not None else os.environ.get(ENV_LEVEL)
+    if chosen:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)
+        root.setLevel(chosen.strip().upper())
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro.*`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix (or a full ``repro.x.y`` module name, used as-is).
+
+    Example
+    -------
+    ::
+
+        from repro.obs.logging import get_logger, log_event
+
+        logger = get_logger(__name__)       # -> "repro.fleet.router"
+        log_event(logger, "worker-start", worker=0, incarnation=1)
+    """
+    configure()
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def format_event(event: str, **fields: object) -> str:
+    """Render one structured log line (``event=... key=value ...``).
+
+    Field order is the caller's keyword order, so call sites read naturally
+    and grep patterns stay stable.
+
+    Parameters
+    ----------
+    event:
+        Short kebab-case event name (``worker-start``, ``cache-entry-
+        rejected``, ``transfer-fallback``).
+
+    Example
+    -------
+    >>> format_event("worker-start", worker=0, incarnation=1)
+    'event=worker-start worker=0 incarnation=1'
+    """
+    parts = [f"event={event}"]
+    for key, value in fields.items():
+        text = str(value)
+        if " " in text:
+            text = f'"{text}"'
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    level: int = logging.INFO,
+    **fields: object,
+) -> None:
+    """Log one structured event line.
+
+    Parameters
+    ----------
+    logger:
+        A ``repro.*`` logger from :func:`get_logger`.
+    event:
+        Short kebab-case event name.
+    level:
+        Standard :mod:`logging` level (default ``INFO``).
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, "%s", format_event(event, **fields))

@@ -1,0 +1,227 @@
+"""Trace stitching, per-stage breakdowns and critical-path extraction.
+
+Consumes the JSONL span files written by :mod:`repro.obs.trace` — from one
+process or many (the fleet's ``spans-main.jsonl`` + ``spans-w*.jsonl``) —
+and answers the questions raw spans cannot: do the files stitch into
+complete traces (no orphan spans)?  Where does a request's wall clock go,
+stage by stage?  What is the critical path of the slowest request?
+
+Also behind the CLI::
+
+    python -m repro.obs summarize traces/spans-*.jsonl
+    python -m repro.obs summarize traces/ --chrome trace-events.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+SpanRecord = Dict[str, object]
+
+
+def load_spans(
+    paths: Iterable[Union[str, os.PathLike]],
+) -> List[SpanRecord]:
+    """Load span records from JSONL files (directories load ``*.jsonl``).
+
+    Parameters
+    ----------
+    paths:
+        Span files and/or directories holding ``spans-*.jsonl`` files.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.jsonl")))
+        else:
+            files.append(path)
+    spans: List[SpanRecord] = []
+    for path in files:
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def stitch(spans: Sequence[SpanRecord]) -> Dict[str, List[SpanRecord]]:
+    """Group spans by ``trace_id``, each trace sorted by start time.
+
+    Example
+    -------
+    >>> spans = [{"trace_id": "t1", "span_id": "a", "start_us": 0.0},
+    ...          {"trace_id": "t2", "span_id": "b", "start_us": 1.0}]
+    >>> sorted(stitch(spans))
+    ['t1', 't2']
+    """
+    traces: Dict[str, List[SpanRecord]] = {}
+    for span in spans:
+        traces.setdefault(str(span.get("trace_id")), []).append(span)
+    for records in traces.values():
+        records.sort(key=lambda span: (float(span.get("start_us", 0.0)),
+                                       str(span.get("span_id"))))
+    return dict(sorted(traces.items()))
+
+
+def orphan_spans(spans: Sequence[SpanRecord]) -> List[SpanRecord]:
+    """Spans whose ``parent_id`` names a span missing from the input.
+
+    An empty result over a multi-process span-file set is the "stitched
+    end-to-end traces" property: every child's parent made it into some
+    file, so each trace reconstructs completely.
+
+    Example
+    -------
+    >>> complete = [{"trace_id": "t", "span_id": "a", "parent_id": None},
+    ...             {"trace_id": "t", "span_id": "b", "parent_id": "a"}]
+    >>> orphan_spans(complete)
+    []
+    """
+    known = {str(span.get("span_id")) for span in spans}
+    return [
+        span
+        for span in spans
+        if span.get("parent_id") is not None
+        and str(span.get("parent_id")) not in known
+    ]
+
+
+def critical_path(trace: Sequence[SpanRecord]) -> List[SpanRecord]:
+    """The root-to-leaf chain of longest-duration children.
+
+    Follows, from the trace's root span, the child with the largest
+    ``dur_us`` at each level — the classic "where did the time go" walk.
+    """
+    if not trace:
+        return []
+    by_parent: Dict[Optional[str], List[SpanRecord]] = {}
+    for span in trace:
+        parent = span.get("parent_id")
+        by_parent.setdefault(
+            str(parent) if parent is not None else None, []
+        ).append(span)
+    roots = by_parent.get(None) or [trace[0]]
+    root = max(roots, key=lambda span: float(span.get("dur_us", 0.0)))
+    path = [root]
+    while True:
+        children = by_parent.get(str(path[-1].get("span_id")), [])
+        if not children:
+            return path
+        path.append(max(children, key=lambda s: float(s.get("dur_us", 0.0))))
+
+
+def summarize(spans: Sequence[SpanRecord]) -> Dict[str, object]:
+    """Aggregate spans into per-stage and per-trace breakdowns.
+
+    Returns a pinned-key payload with a per-span-name stage table (count,
+    total/mean duration), trace counts, orphan count, and the critical
+    path of the slowest trace.
+    """
+    traces = stitch(spans)
+    stages: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        name = str(span.get("name"))
+        entry = stages.setdefault(name, {"count": 0, "total_us": 0.0})
+        entry["count"] += 1
+        entry["total_us"] += float(span.get("dur_us", 0.0))
+    for entry in stages.values():
+        entry["mean_us"] = (
+            entry["total_us"] / entry["count"] if entry["count"] else 0.0
+        )
+    durations: Dict[str, float] = {}
+    for trace_id, records in traces.items():
+        start = min(float(span.get("start_us", 0.0)) for span in records)
+        end = max(
+            float(span.get("start_us", 0.0)) + float(span.get("dur_us", 0.0))
+            for span in records
+        )
+        durations[trace_id] = end - start
+    slowest = max(durations, key=lambda t: durations[t]) if durations else None
+    path = critical_path(traces[slowest]) if slowest is not None else []
+    return {
+        "spans": len(spans),
+        "traces": len(traces),
+        "orphans": len(orphan_spans(spans)),
+        "stages": {name: stages[name] for name in sorted(stages)},
+        "trace_durations_us": durations,
+        "slowest_trace": slowest,
+        "critical_path": [
+            {
+                "name": span.get("name"),
+                "process": span.get("process"),
+                "dur_us": float(span.get("dur_us", 0.0)),
+            }
+            for span in path
+        ],
+    }
+
+
+def format_summary(summary: Mapping[str, object]) -> List[str]:
+    """Human-readable lines for one :func:`summarize` payload."""
+    lines = [
+        f"{summary['spans']} spans in {summary['traces']} trace(s), "
+        f"{summary['orphans']} orphan(s)"
+    ]
+    stages = dict(summary.get("stages", {}))
+    total = sum(float(entry["total_us"]) for entry in stages.values())
+    lines.append("per-stage breakdown (by total time):")
+    for name in sorted(
+        stages, key=lambda n: -float(stages[n]["total_us"])
+    ):
+        entry = stages[name]
+        share = float(entry["total_us"]) / total if total > 0 else 0.0
+        lines.append(
+            f"  {name}: {int(entry['count'])} span(s), "
+            f"{float(entry['total_us']):.0f} us total "
+            f"({share:.1%}), mean {float(entry['mean_us']):.0f} us"
+        )
+    slowest = summary.get("slowest_trace")
+    if slowest is not None:
+        durations = dict(summary.get("trace_durations_us", {}))
+        lines.append(
+            f"critical path of slowest trace {slowest} "
+            f"({float(durations.get(str(slowest), 0.0)):.0f} us):"
+        )
+        for hop in summary.get("critical_path", []):
+            lines.append(
+                f"  {hop['name']} [{hop['process']}] {hop['dur_us']:.0f} us"
+            )
+    return lines
+
+
+def to_chrome_trace(spans: Sequence[SpanRecord]) -> Dict[str, object]:
+    """Convert span records to Chrome trace-event JSON (Perfetto-loadable).
+
+    Spans become complete (``ph: "X"``) events; the process tag maps to
+    ``pid`` and the recording thread to ``tid``, so Perfetto's track view
+    mirrors the fleet's process/thread structure.
+
+    Parameters
+    ----------
+    spans:
+        Span records, e.g. from :func:`load_spans`.
+    """
+    events = []
+    for span in spans:
+        events.append(
+            {
+                "name": span.get("name"),
+                "cat": "repro",
+                "ph": "X",
+                "ts": float(span.get("start_us", 0.0)),
+                "dur": float(span.get("dur_us", 0.0)),
+                "pid": span.get("process"),
+                "tid": span.get("thread"),
+                "args": {
+                    "trace_id": span.get("trace_id"),
+                    "span_id": span.get("span_id"),
+                    "parent_id": span.get("parent_id"),
+                    **dict(span.get("attrs") or {}),
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import threading
 import time
@@ -47,6 +48,8 @@ from repro.codegen.plan import ExecutionPlan
 from repro.errors import CacheEntryError, CorruptCacheEntry, StaleCacheEntry
 from repro.hardware.spec import HardwareSpec
 from repro.ir.graph import GemmChainSpec
+from repro.obs.logging import get_logger, log_event
+from repro.obs.trace import tracer
 from repro.search.engine import SearchSummary
 from repro.search.incremental import (
     ShapeIndex,
@@ -56,6 +59,8 @@ from repro.search.incremental import (
 )
 from repro.sim.engine import SimulationReport
 from repro.sim.profiler import TrafficReport
+
+_logger = get_logger(__name__)
 
 #: Bumped whenever the serialized entry layout changes; old-format disk
 #: entries are treated as misses instead of raising.
@@ -370,25 +375,30 @@ class PlanCache:
         of different keys do not serialize on file I/O; a racing promotion
         of the same key is harmless (both threads read identical content).
         """
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                self._entries.move_to_end(key)
-                self.stats.memory_hits += 1
-                return entry
-        entry = self._read_disk(key)
-        with self._lock:
-            if entry is not None:
-                self.stats.disk_hits += 1
-                self._remember(key, entry)
-                return entry
-            promoted = self._entries.get(key)
-            if promoted is not None:
-                self._entries.move_to_end(key)
-                self.stats.memory_hits += 1
-                return promoted
-            self.stats.misses += 1
-            return None
+        with tracer().span("cache.get", key=key[:16]) as span:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.memory_hits += 1
+                    span.set("tier", TIER_MEMORY)
+                    return entry
+            entry = self._read_disk(key)
+            with self._lock:
+                if entry is not None:
+                    self.stats.disk_hits += 1
+                    self._remember(key, entry)
+                    span.set("tier", TIER_DISK)
+                    return entry
+                promoted = self._entries.get(key)
+                if promoted is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.memory_hits += 1
+                    span.set("tier", TIER_MEMORY)
+                    return promoted
+                self.stats.misses += 1
+                span.set("tier", None)
+                return None
 
     def put(self, key: str, entry: PlanCacheEntry, write_disk: bool = True) -> None:
         """Insert an entry into the memory tier and (optionally) to disk.
@@ -495,7 +505,10 @@ class PlanCache:
         entry = self.get(key)
         if entry is None:
             return None
-        kernel = entry.rehydrate(chain=chain)
+        with tracer().span(
+            "cache.rehydrate", chain=chain.name if chain is not None else None
+        ):
+            kernel = entry.rehydrate(chain=chain)
         with self._lock:
             existing = self._kernels.get(memo_key)
             if existing is not None:
@@ -615,6 +628,13 @@ class PlanCache:
             if violations:
                 with self._lock:
                     self.stats.rejected_entries += 1
+                log_event(
+                    _logger,
+                    "cache-entry-rejected",
+                    level=logging.WARNING,
+                    key=key[:16],
+                    violations=len(violations),
+                )
                 return None
         return entry
 

@@ -33,6 +33,7 @@ from repro.api import CompiledKernel, CompileRequest, FlashFuser, KernelTable
 from repro.config import FuserConfig, warn_deprecated
 from repro.ir.graph import GemmChainSpec
 from repro.ir.workloads import get_chain_spec
+from repro.obs.trace import tracer
 from repro.runtime.batch import BatchCompiler
 from repro.runtime.cache import TIER_MEMORY
 from repro.runtime.stats import ServingStats
@@ -65,6 +66,10 @@ class ServeResponse:
     #: Search-effort counters (candidates enumerated/analyzed/skipped) when
     #: this request ran a fusion search; ``None`` for table/cache hits.
     search_counters: Optional[Dict[str, int]] = None
+    #: Per-phase search wall clock in microseconds (enumerate_prune /
+    #: analyze / rank / profile, or transfer) when this request ran a
+    #: fusion search; ``None`` for table/cache hits.
+    phase_times_us: Optional[Dict[str, float]] = None
 
 
 def _search_counters(
@@ -81,6 +86,16 @@ def _search_counters(
         "candidates_analyzed": int(getattr(search, "candidates_analyzed", 0)),
         "candidates_skipped": int(getattr(search, "candidates_skipped", 0)),
     }
+
+
+def _phase_times(
+    kernel: CompiledKernel, source: str
+) -> Optional[Dict[str, float]]:
+    """Per-phase search-time attribution for a compile-sourced response."""
+    if not ServingStats.is_compile_source(source):
+        return None
+    phases = getattr(kernel.search, "phase_times_us", None)
+    return dict(phases) if phases else None
 
 
 class KernelServer:
@@ -213,16 +228,55 @@ class KernelServer:
         bin_m = self.bin_for(runtime_m)
         # The shared kernel tables are keyed by (workload/shape, bin) only,
         # so they may serve and store solely kernels compiled under the
-        # server's own config.  parallelism and incremental cannot change
-        # the selected plan; any other override reshapes it, so such
+        # server's own config.  parallelism, incremental and trace cannot
+        # change the selected plan; any other override reshapes it, so such
         # requests bypass the table (they still resolve through the plan
         # cache and compile path).
-        plan_neutral = set(overrides) <= {"parallelism", "incremental"}
-        if not plan_neutral:
-            binned = base.scaled(m=bin_m, name=f"{base.name}_m{bin_m}")
-            kernel, source = self._resolve_miss(binned, overrides)
+        plan_neutral = set(overrides) <= {"parallelism", "incremental", "trace"}
+        with tracer().span(
+            "server.request", workload=key, m=runtime_m, bin=bin_m
+        ) as span:
+            if not plan_neutral:
+                binned = base.scaled(m=bin_m, name=f"{base.name}_m{bin_m}")
+                kernel, source = self._resolve_miss(binned, overrides)
+                latency_us = (time.perf_counter() - start) * 1e6
+                self.stats.record_request(key, source, latency_us)
+                span.set("source", source)
+                return ServeResponse(
+                    workload=key,
+                    m=runtime_m,
+                    bin_m=bin_m,
+                    kernel=kernel,
+                    source=source,
+                    latency_us=latency_us,
+                    search_counters=_search_counters(kernel, source),
+                    phase_times_us=_phase_times(kernel, source),
+                )
+            with self._lock:
+                table = self._tables.setdefault(key, KernelTable(chain=base))
+                kernel = table.kernels.get(bin_m)
+            source = SOURCE_TABLE
+            if kernel is None:
+                with self._lock:
+                    inflight = self._inflight.setdefault(
+                        (key, bin_m),
+                        make_lock(f"kernel-server.inflight[{key}:{bin_m}]"),
+                    )
+                with inflight:
+                    # Another request may have resolved this bin while we
+                    # waited.
+                    with self._lock:
+                        kernel = table.kernels.get(bin_m)
+                    if kernel is None:
+                        binned = base.scaled(
+                            m=bin_m, name=f"{base.name}_m{bin_m}"
+                        )
+                        kernel, source = self._resolve_miss(binned, overrides)
+                        with self._lock:
+                            table.kernels[bin_m] = kernel
             latency_us = (time.perf_counter() - start) * 1e6
             self.stats.record_request(key, source, latency_us)
+            span.set("source", source)
             return ServeResponse(
                 workload=key,
                 m=runtime_m,
@@ -231,37 +285,8 @@ class KernelServer:
                 source=source,
                 latency_us=latency_us,
                 search_counters=_search_counters(kernel, source),
+                phase_times_us=_phase_times(kernel, source),
             )
-        with self._lock:
-            table = self._tables.setdefault(key, KernelTable(chain=base))
-            kernel = table.kernels.get(bin_m)
-        source = SOURCE_TABLE
-        if kernel is None:
-            with self._lock:
-                inflight = self._inflight.setdefault(
-                    (key, bin_m),
-                    make_lock(f"kernel-server.inflight[{key}:{bin_m}]"),
-                )
-            with inflight:
-                # Another request may have resolved this bin while we waited.
-                with self._lock:
-                    kernel = table.kernels.get(bin_m)
-                if kernel is None:
-                    binned = base.scaled(m=bin_m, name=f"{base.name}_m{bin_m}")
-                    kernel, source = self._resolve_miss(binned, overrides)
-                    with self._lock:
-                        table.kernels[bin_m] = kernel
-        latency_us = (time.perf_counter() - start) * 1e6
-        self.stats.record_request(key, source, latency_us)
-        return ServeResponse(
-            workload=key,
-            m=runtime_m,
-            bin_m=bin_m,
-            kernel=kernel,
-            source=source,
-            latency_us=latency_us,
-            search_counters=_search_counters(kernel, source),
-        )
 
     # ------------------------------------------------------------------ #
     # Warmup and introspection
@@ -426,19 +451,24 @@ class KernelServer:
         # even when the overrides redirect the device or the cache.
         cache = self.compiler._cache_for(config)
         if cache is not None:
-            key = cache.key_for(
-                chain, self.compiler._device_for(config), config.cache_key_fields()
-            )
-            tier = cache.tier_of(key)
-            kernel = cache.load_kernel(key, chain=chain)
+            with tracer().span("server.cache", chain=chain.name) as span:
+                key = cache.key_for(
+                    chain,
+                    self.compiler._device_for(config),
+                    config.cache_key_fields(),
+                )
+                tier = cache.tier_of(key)
+                kernel = cache.load_kernel(key, chain=chain)
+                span.set("hit", kernel is not None)
             if kernel is not None:
                 source = (
                     SOURCE_CACHE_MEMORY if tier == TIER_MEMORY else SOURCE_CACHE_DISK
                 )
                 return kernel, source
-        response = self.compiler.compile_request(
-            CompileRequest(chain=chain, overrides=overrides)
-        )
+        with tracer().span("server.compile", chain=chain.name):
+            response = self.compiler.compile_request(
+                CompileRequest(chain=chain, overrides=overrides)
+            )
         if getattr(response.kernel.search, "mode", "exact") == "transfer":
             return response.kernel, SOURCE_TRANSFER
         return response.kernel, SOURCE_COMPILED

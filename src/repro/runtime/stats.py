@@ -11,20 +11,30 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
 from repro.analysis.locks import make_lock
+from repro.obs.metrics import bucket_index, histogram_quantile
 
 
 @dataclass
 class LatencySummary:
-    """Streaming aggregate of one latency series (microseconds)."""
+    """Streaming aggregate of one latency series (microseconds).
+
+    Beyond count/mean/min/max, every observation lands in one of the fixed
+    log-spaced buckets of :func:`repro.obs.metrics.bucket_index`, so
+    :meth:`merge` composes *exactly* — two workers' summaries add bucket
+    counts, and the merged p50/p95 equal the percentiles of the union —
+    which is what lets fleet-wide snapshots report honest percentiles.
+    """
 
     count: int = 0
     total_us: float = 0.0
     min_us: float = float("inf")
     max_us: float = 0.0
+    #: Sparse log-bucket counts ({bucket index -> observations}).
+    buckets: Dict[int, int] = field(default_factory=dict)
 
     def record(self, latency_us: float) -> None:
         """Fold one observation into the aggregate."""
@@ -34,11 +44,25 @@ class LatencySummary:
         self.total_us += latency_us
         self.min_us = min(self.min_us, latency_us)
         self.max_us = max(self.max_us, latency_us)
+        index = bucket_index(latency_us)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean_us(self) -> float:
         """Average latency, 0.0 before any observation."""
         return self.total_us / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-estimated percentile, clamped to the observed extremes.
+
+        Exact under :meth:`merge`: the estimate depends only on the summed
+        bucket counts and the true min/max, all of which compose losslessly.
+        """
+        if not self.count:
+            return 0.0
+        return histogram_quantile(
+            self.buckets, q, min_value=self.min_us, max_value=self.max_us
+        )
 
     def merge(self, other: "LatencySummary") -> "LatencySummary":
         """Fold ``other``'s observations into this aggregate (returns self)."""
@@ -47,27 +71,45 @@ class LatencySummary:
             self.total_us += other.total_us
             self.min_us = min(self.min_us, other.min_us)
             self.max_us = max(self.max_us, other.max_us)
+            for index, observations in other.buckets.items():
+                self.buckets[index] = self.buckets.get(index, 0) + observations
         return self
 
     def snapshot(self) -> Dict[str, float]:
-        """Plain-dictionary view of the aggregate."""
+        """Plain-dictionary view of the aggregate (pinned key order)."""
         return {
             "count": self.count,
             "mean_us": self.mean_us,
             "min_us": self.min_us if self.count else 0.0,
             "max_us": self.max_us,
+            "p50_us": self.quantile(50),
+            "p95_us": self.quantile(95),
+            "buckets": {
+                str(index): self.buckets[index]
+                for index in sorted(self.buckets)
+            },
         }
 
     @classmethod
     def from_snapshot(cls, payload: Mapping[str, float]) -> "LatencySummary":
-        """Rebuild an aggregate from its :meth:`snapshot` form."""
+        """Rebuild an aggregate from its :meth:`snapshot` form.
+
+        Tolerates payloads written before the histogram fields existed
+        (their percentiles degrade to the min/max clamp of an empty bucket
+        set).
+        """
         count = int(payload["count"])
         mean_us = float(payload["mean_us"])
+        raw_buckets = payload.get("buckets") or {}
         return cls(
             count=count,
             total_us=mean_us * count,
             min_us=float(payload["min_us"]) if count else float("inf"),
             max_us=float(payload["max_us"]),
+            buckets={
+                int(index): int(observations)
+                for index, observations in dict(raw_buckets).items()
+            },
         )
 
 
@@ -189,6 +231,7 @@ class ServingStats:
                     total_us=summary.total_us,
                     min_us=summary.min_us,
                     max_us=summary.max_us,
+                    buckets=dict(summary.buckets),
                 )
                 for source, summary in other.latency.items()
             }
@@ -197,6 +240,7 @@ class ServingStats:
                 total_us=other.overall_latency.total_us,
                 min_us=other.overall_latency.min_us,
                 max_us=other.overall_latency.max_us,
+                buckets=dict(other.overall_latency.buckets),
             )
         with self._lock:
             self.requests += other_requests

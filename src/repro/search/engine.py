@@ -13,10 +13,12 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dataflow.analyzer import DataflowAnalyzer, DataflowResult
 from repro.hardware.spec import HardwareSpec
+from repro.obs import trace as obs_trace
+from repro.obs.trace import tracer
 from repro.search.cost_model import CostModel
 from repro.search.pruning import Pruner, PruningStats
 from repro.search.space import FusionCandidate, SearchSpace
@@ -66,6 +68,10 @@ class SearchResult:
     search_time_s: float
     mode: str = "exact"
     candidates_skipped: int = 0
+    #: Per-phase wall-clock attribution in microseconds
+    #: (``enumerate_prune``/``analyze``/``rank``/``profile`` for exact
+    #: searches, ``transfer`` for warm-started ones).
+    phase_times_us: Optional[Dict[str, float]] = None
 
     @property
     def succeeded(self) -> bool:
@@ -109,6 +115,9 @@ class SearchSummary:
     mode: str = "exact"
     #: Candidates skipped by the admissible lower bound.
     candidates_skipped: int = 0
+    #: Per-phase wall-clock attribution in microseconds (``None`` for
+    #: summaries persisted before phase attribution existed).
+    phase_times_us: Optional[Dict[str, float]] = None
 
     @classmethod
     def from_result(cls, result: SearchResult) -> "SearchSummary":
@@ -124,6 +133,11 @@ class SearchSummary:
             profiled_time_us=best.profiled_time_us if best else None,
             mode=result.mode,
             candidates_skipped=result.candidates_skipped,
+            phase_times_us=(
+                dict(result.phase_times_us)
+                if result.phase_times_us is not None
+                else None
+            ),
         )
 
     def to_dict(self) -> dict:
@@ -138,6 +152,7 @@ class SearchSummary:
             "profiled_time_us": self.profiled_time_us,
             "mode": self.mode,
             "candidates_skipped": self.candidates_skipped,
+            "phase_times_us": self.phase_times_us,
         }
 
     @classmethod
@@ -145,8 +160,10 @@ class SearchSummary:
         """Rebuild a summary from :meth:`to_dict` output.
 
         Summaries persisted before the incremental-search fields existed
-        load with the defaults (``mode="exact"``, no skips).
+        load with the defaults (``mode="exact"``, no skips, no phase
+        attribution).
         """
+        raw_phases = payload.get("phase_times_us")
         return cls(
             workload=str(payload["workload"]),
             succeeded=bool(payload["succeeded"]),
@@ -158,6 +175,11 @@ class SearchSummary:
             from_cache=from_cache,
             mode=str(payload.get("mode", "exact")),
             candidates_skipped=int(payload.get("candidates_skipped", 0)),
+            phase_times_us=(
+                {str(k): float(v) for k, v in dict(raw_phases).items()}
+                if raw_phases is not None
+                else None
+            ),
         )
 
 
@@ -275,10 +297,19 @@ class SearchEngine:
         as usual.
         """
         if transfer_seed is not None:
-            transferred = self._transfer_search(chain, transfer_seed)
+            with tracer().span("search.transfer", chain=chain.name) as tspan:
+                transferred = self._transfer_search(chain, transfer_seed)
+                tspan.set("accepted", transferred is not None)
             if transferred is not None:
+                if transferred.phase_times_us is None:
+                    transferred.phase_times_us = {
+                        "transfer": transferred.search_time_s * 1e6
+                    }
                 return transferred
         start = time.perf_counter()
+        analyze_s = 0.0
+        rank_s = 0.0
+        profile_s = 0.0
         pruner = Pruner(self.device, include_dsm=self.include_dsm)
 
         enumerated = 0
@@ -310,6 +341,7 @@ class SearchEngine:
                 # order, so analysing it would be pure waste.
                 skipped += 1
                 continue
+            analyze_t0 = time.perf_counter()
             result = self.analyzer.analyze(
                 chain,
                 candidate.schedule,
@@ -317,6 +349,7 @@ class SearchEngine:
                 candidate.geometry,
                 gated_sequential=candidate.gated_sequential,
             )
+            analyze_s += time.perf_counter() - analyze_t0
             analyzed += 1
             if self.require_feasible and not result.feasible:
                 continue
@@ -333,21 +366,44 @@ class SearchEngine:
         # Rank by cost with analysis order as the tie-break, so the top-K
         # ordering is fully deterministic (and reproducible by the sharded
         # parallel engine, whose merge uses the same enumeration-order key).
+        rank_t0 = time.perf_counter()
         ranked = sorted(
             ((entry[2], -entry[1]) for entry in heap),
             key=lambda pair: (pair[0].predicted_cost_us, pair[1]),
         )
+        rank_s += time.perf_counter() - rank_t0
 
         # Final profiling of the top-K candidates (on-device measurement in
         # the paper, simulator here).
         if self.profiler is not None:
+            profile_t0 = time.perf_counter()
             for plan, _ in ranked:
                 plan.profiled_time_us = self.profiler(plan.result)
             ranked.sort(key=lambda pair: (pair[0].best_known_time_us, pair[1]))
+            profile_s = time.perf_counter() - profile_t0
         top_k = [plan for plan, _ in ranked]
 
         best = top_k[0] if top_k else None
         elapsed = time.perf_counter() - start
+        phase_times_us = {
+            "enumerate_prune": max(
+                0.0, elapsed - analyze_s - rank_s - profile_s
+            )
+            * 1e6,
+            "analyze": analyze_s * 1e6,
+            "rank": rank_s * 1e6,
+            "profile": profile_s * 1e6,
+        }
+        if obs_trace.enabled():
+            end_us = obs_trace.now_us()
+            tracer().emit(
+                "search.exact",
+                start_us=end_us - elapsed * 1e6,
+                end_us=end_us,
+                chain=chain.name,
+                analyzed=analyzed,
+                skipped=skipped,
+            )
         stats = pruner.stats
         stats.initial = max(stats.initial, enumerated)
         return SearchResult(
@@ -359,6 +415,7 @@ class SearchEngine:
             candidates_analyzed=analyzed,
             search_time_s=elapsed,
             candidates_skipped=skipped,
+            phase_times_us=phase_times_us,
         )
 
     def _transfer_search(self, chain: GemmChainSpec, seed) -> Optional[SearchResult]:

@@ -45,9 +45,12 @@ from repro.dsm_comm.geometry import ClusterGeometry
 from repro.hardware.spec import HardwareSpec
 from repro.ir.graph import ChainKind, GemmChainSpec
 from repro.ir.ops import ActivationKind
+from repro.obs.logging import get_logger, log_event
 from repro.search.cost_model import CostModel
 from repro.search.pruning import Pruner, PruningStats
 from repro.search.space import FusionCandidate, SearchSpace
+
+_logger = get_logger(__name__)
 
 #: Chain-kind/activation values every subchain is normalised to before
 #: hashing, so chains that differ only in those fields share cache entries.
@@ -518,6 +521,13 @@ class TransferSearch:
         chain_bound = self.bounds.chain_lower_bound(chain)
         certificate = min(plan.predicted_cost_us for plan in top_k)
         if certificate > self.transfer_bound * chain_bound:
+            log_event(
+                _logger,
+                "transfer-fallback",
+                chain=chain.name,
+                certificate_us=round(certificate, 3),
+                bound_us=round(self.transfer_bound * chain_bound, 3),
+            )
             return None
 
         elapsed = time.perf_counter() - start

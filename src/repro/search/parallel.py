@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.dataflow.analyzer import DataflowAnalyzer, DataflowResult
 from repro.hardware.spec import HardwareSpec
 from repro.ir.graph import GemmChainSpec
+from repro.obs.trace import tracer
 from repro.search.cost_model import CostModel
 from repro.search.engine import ProfilerFn, RankedPlan, SearchEngine, SearchResult
 from repro.search.incremental import (
@@ -651,8 +652,14 @@ class ParallelSearchEngine:
         when the transfer is rejected.
         """
         if transfer_seed is not None:
-            transferred = self._transfer.search(chain, transfer_seed)
+            with tracer().span("search.transfer", chain=chain.name) as tspan:
+                transferred = self._transfer.search(chain, transfer_seed)
+                tspan.set("accepted", transferred is not None)
             if transferred is not None:
+                if transferred.phase_times_us is None:
+                    transferred.phase_times_us = {
+                        "transfer": transferred.search_time_s * 1e6
+                    }
                 return transferred
         if self.max_candidates is not None:
             return self._serial_engine().search(chain)
@@ -767,6 +774,7 @@ class ParallelSearchEngine:
 
         # Global top-K: the K smallest by (cost, enumeration index), exactly
         # the serial heap's selection and tie-break rule.
+        rank_start = time.perf_counter()
         entries.sort(key=lambda entry: (entry[0], entry[1]))
         ranked: List[Tuple[RankedPlan, int]] = [
             (
@@ -775,11 +783,15 @@ class ParallelSearchEngine:
             )
             for cost, index, candidate, result in entries[: self.top_k]
         ]
+        rank_s = time.perf_counter() - rank_start
 
+        profile_s = 0.0
         if self.profiler is not None:
+            profile_start = time.perf_counter()
             for plan, _ in ranked:
                 plan.profiled_time_us = self.profiler(plan.result)
             ranked.sort(key=lambda pair: (pair[0].best_known_time_us, pair[1]))
+            profile_s = time.perf_counter() - profile_start
 
         top_k = [plan for plan, _ in ranked]
         stats = PruningStats(initial=initial, surviving=dict(rule_counts))
@@ -792,6 +804,14 @@ class ParallelSearchEngine:
             candidates_analyzed=analyzed,
             search_time_s=elapsed_s,
             candidates_skipped=skipped,
+            # Shards fuse enumeration, pruning and analysis in one pass, so
+            # the sharded wall time is attributed to "analyze" wholesale;
+            # only the merge-side rank and profile phases are measured.
+            phase_times_us={
+                "analyze": elapsed_s * 1e6,
+                "rank": rank_s * 1e6,
+                "profile": profile_s * 1e6,
+            },
         )
 
     # ------------------------------------------------------------------ #

@@ -114,6 +114,7 @@ PERF_REPORT_KEYS = [
     "queue_depth",
     "split",
     "speedups",
+    "stages",
 ]
 
 
