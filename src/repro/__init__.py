@@ -52,6 +52,8 @@ from repro.graphs import (
     ModelPlan,
     ModelServer,
     PlanSegment,
+    RewriteProvenance,
+    canonicalize,
     compile_graph,
     extract_chains,
 )
@@ -88,6 +90,8 @@ __all__ = [
     "ModelPlan",
     "ModelServer",
     "PlanSegment",
+    "RewriteProvenance",
+    "canonicalize",
     "compile_graph",
     "extract_chains",
     "ParallelSearchEngine",
@@ -109,4 +113,4 @@ __all__ = [
     "run_repo_lint",
 ]
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"

@@ -56,6 +56,11 @@ PLAN_NEUTRAL_CONFIG_FIELDS = frozenset(
         # Search *effort* knobs: same winner, different wall-clock.
         "parallelism",
         "incremental",
+        # Graph canonicalization before extraction: changes which chains are
+        # extracted from a model graph, never which plan a given chain
+        # compiles to — per-chain cache entries stay valid either way (the
+        # differential oracle tests in tests/test_rewrite.py pin this).
+        "rewrite",
         # Observability opt-in: spans and metrics observe the search, they
         # never steer it (see repro.obs).
         "trace",

@@ -190,6 +190,7 @@ class PerfReport:
         name: str = "replay",
         config: Optional[Mapping[str, object]] = None,
         fleet: Optional[Mapping[str, object]] = None,
+        rewrite: Optional[Mapping[str, object]] = None,
     ) -> "PerfReport":
         """Aggregate a :class:`~repro.bench.driver.ReplayResult`.
 
@@ -211,6 +212,7 @@ class PerfReport:
             concurrency=result.concurrency,
             config=config,
             fleet=fleet,
+            rewrite=rewrite,
         )
 
     @classmethod
@@ -224,8 +226,17 @@ class PerfReport:
         concurrency: int = 1,
         config: Optional[Mapping[str, object]] = None,
         fleet: Optional[Mapping[str, object]] = None,
+        rewrite: Optional[Mapping[str, object]] = None,
     ) -> "PerfReport":
-        """Aggregate raw request records into a report."""
+        """Aggregate raw request records into a report.
+
+        ``rewrite`` optionally attaches a graph-rewrite coverage block
+        (e.g. per-graph chain counts with canonicalization on vs off, or a
+        :meth:`~repro.graphs.rewrite.RewriteProvenance.to_dict` snapshot).
+        Rewrite counts are deterministic — rule firings do not depend on
+        timing — so the block is *not* registered under the timing keys and
+        participates in baseline comparison.
+        """
         ok = [record for record in records if record.ok]
         walls = [record.wall_us for record in ok]
         if duration_s is None:
@@ -286,6 +297,8 @@ class PerfReport:
         }
         if fleet is not None:
             payload["fleet"] = dict(fleet)
+        if rewrite is not None:
+            payload["rewrite"] = dict(rewrite)
         return cls(payload)
 
     @staticmethod

@@ -106,6 +106,15 @@ class FuserConfig:
         engines, so e.g. a gated-FFN search reuses its standard-FFN prefix
         work.  Plan-neutral (selected plans are bit-identical either way),
         so never part of the cache key.
+    rewrite:
+        Canonicalize operator graphs (:func:`repro.graphs.rewrite.canonicalize`)
+        before chain extraction, so export spellings — interior reshapes,
+        transposed weights, swapped gating operands, missing link
+        activations — still extract their fusible chains.  On by default.
+        Plan-neutral: rewriting changes *which* chains are extracted, never
+        which plan a given chain compiles to (an extracted chain has the
+        same canonical identity as the same chain built directly), so never
+        part of the cache key.
     trace:
         Observability opt-in carried alongside the compile knobs (see
         :mod:`repro.obs.trace`; the ``REPRO_TRACE`` environment variable is
@@ -132,6 +141,7 @@ class FuserConfig:
     transfer: bool = False
     transfer_bound: float = 2.0
     incremental: bool = True
+    rewrite: bool = True
     trace: bool = False
 
     def __post_init__(self) -> None:
@@ -174,9 +184,9 @@ class FuserConfig:
         ``include_dsm``, ``max_tile``, ``transfer`` and ``transfer_bound``
         (the transfer knobs can change which plan is selected, so they must
         partition the cache).  Device identity enters the key separately
-        (via the hardware fingerprint) and ``parallelism``, ``incremental``
-        and ``cache`` never do — they cannot change the selected plan, so
-        toggling them does not invalidate cached plans.
+        (via the hardware fingerprint) and ``parallelism``, ``incremental``,
+        ``rewrite`` and ``cache`` never do — they cannot change the selected
+        plan, so toggling them does not invalidate cached plans.
         """
         return {
             "top_k": self.top_k,
@@ -230,6 +240,7 @@ class FuserConfig:
             "transfer": self.transfer,
             "transfer_bound": self.transfer_bound,
             "incremental": self.incremental,
+            "rewrite": self.rewrite,
             "trace": self.trace,
         }
 

@@ -4,6 +4,11 @@ The layers below this package compile one *chain* at a time; this package
 turns full :class:`~repro.ir.graph.OperatorGraph` models into servable
 plans:
 
+* :mod:`repro.graphs.rewrite` — the rule-based canonicalizer that
+  normalizes export spellings (interior reshapes, transposed weights,
+  swapped gating operands, missing link activations) into the Figure-1
+  forms before matching, behind the plan-neutral ``FuserConfig.rewrite``
+  flag;
 * :mod:`repro.graphs.extract` — the pattern matcher and chain extractor
   that partitions a model DAG into the fusible shapes of Figure 1
   (standard FFN, gated FFN, conv chain via im2col) plus residual operators,
@@ -19,6 +24,15 @@ plans:
 """
 
 from repro.graphs.extract import ChainMatch, ExtractionResult, extract_chains
+from repro.graphs.rewrite import (
+    DEFAULT_RULES,
+    GraphEdit,
+    RewriteProvenance,
+    RewriteResult,
+    RewriteRule,
+    canonicalize,
+    graph_signature,
+)
 from repro.graphs.plan import (
     KIND_FUSED,
     KIND_UNFUSED,
@@ -33,6 +47,13 @@ __all__ = [
     "ChainMatch",
     "ExtractionResult",
     "extract_chains",
+    "DEFAULT_RULES",
+    "GraphEdit",
+    "RewriteProvenance",
+    "RewriteResult",
+    "RewriteRule",
+    "canonicalize",
+    "graph_signature",
     "KIND_FUSED",
     "KIND_UNFUSED",
     "ModelPlan",

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.graphs.rewrite import RewriteProvenance, canonicalize
 from repro.ir.graph import ChainKind, GemmChainSpec, OperatorGraph
 from repro.ir.ops import (
     Activation,
@@ -98,6 +99,9 @@ class ExtractionResult:
     residual: List[Operator]
     #: All operator names in topological order (segment ordering reference).
     topological_names: Tuple[str, ...]
+    #: What the rewrite stage did before matching (``None`` when extraction
+    #: ran directly on the caller's graph).
+    rewrite: Optional[RewriteProvenance] = None
 
     @property
     def num_chains(self) -> int:
@@ -119,12 +123,23 @@ class ExtractionResult:
         return fused / total if total > 0 else 0.0
 
 
-def extract_chains(graph: OperatorGraph, validate: bool = True) -> ExtractionResult:
+def extract_chains(
+    graph: OperatorGraph, validate: bool = True, *, rewrite: bool = False
+) -> ExtractionResult:
     """Partition ``graph`` into fusible chain regions and residual operators.
 
     ``validate`` runs :meth:`OperatorGraph.validate` first so malformed
     graphs fail with a clear :class:`~repro.errors.FusionError` instead of
     surfacing as an obscure matching failure.
+
+    ``rewrite`` canonicalizes the graph first
+    (:func:`~repro.graphs.rewrite.canonicalize`): export spellings the
+    matcher cannot see through — interior reshapes, transposed weights,
+    swapped gating operands, missing link activations — are normalized to
+    the Figure-1 forms, and the result records what was done in
+    :attr:`ExtractionResult.rewrite`.  Off by default so direct calls stay
+    a pure match over the caller's exact graph; the graph compiler and the
+    model server pass ``FuserConfig.rewrite`` (on by default) instead.
 
     Example
     -------
@@ -135,8 +150,14 @@ def extract_chains(graph: OperatorGraph, validate: bool = True) -> ExtractionRes
     True
     >>> len(result.residual)
     0
+    >>> extract_chains(graph, rewrite=True).rewrite.rules_fired
+    ()
     """
-    if validate:
+    provenance: Optional[RewriteProvenance] = None
+    if rewrite:
+        rewritten = canonicalize(graph, validate=validate)
+        graph, provenance = rewritten.graph, rewritten.provenance
+    elif validate:
         graph.validate()
     order = graph.topological_order()
     index_of = {op.name: position for position, op in enumerate(order)}
@@ -169,6 +190,7 @@ def extract_chains(graph: OperatorGraph, validate: bool = True) -> ExtractionRes
         matches=matches,
         residual=residual,
         topological_names=tuple(op.name for op in order),
+        rewrite=provenance,
     )
 
 

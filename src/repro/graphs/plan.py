@@ -170,9 +170,17 @@ class ModelPlan:
         return [segment.to_row() for segment in self.segments]
 
     def summary(self) -> Dict[str, object]:
-        """Model-level provenance and timing summary."""
+        """Model-level provenance and timing summary.
+
+        The ``rewrite`` entry carries the canonicalization provenance when
+        the plan was compiled with the rewrite stage enabled (``None`` for a
+        direct extraction), so "which rules shaped this plan" survives into
+        every report built from summaries.
+        """
+        rewrite = self.extraction.rewrite
         return {
             "graph": self.graph_name,
+            "rewrite": None if rewrite is None else rewrite.to_dict(),
             "segments": len(self.segments),
             "fused_chains": len(self.fused_segments),
             "residual_ops": sum(
@@ -321,7 +329,12 @@ def compile_graph(
     if owns_compiler:
         compiler = FlashFuser(config, **overrides)
     try:
-        extraction = extract_chains(graph, validate=validate)
+        # The rewrite stage is plan-neutral (it changes which chains exist,
+        # never which plan a chain compiles to), so the flag lives in the
+        # lint's plan-neutral allowlist rather than the cache key.
+        extraction = extract_chains(
+            graph, validate=validate, rewrite=compiler.config.rewrite
+        )
         simulator = simulator or PerformanceSimulator.library_grade(compiler.device)
         # One submission per canonical shape: a model with N identically
         # shaped chains (e.g. every layer's FFN) runs one fusion search, not

@@ -91,6 +91,11 @@ class ModelServeResponse:
         return self.plan.time_us
 
     @property
+    def rewrite_provenance(self):
+        """The extraction's rewrite provenance (``None`` when rewrite is off)."""
+        return self.plan.extraction.rewrite
+
+    @property
     def speedup_vs_unfused(self) -> float:
         """Model speedup over fully unfused execution."""
         return self.plan.speedup_vs_unfused()
@@ -419,14 +424,21 @@ class ModelServer:
         self, factory: GraphFactory, m: int
     ) -> Tuple[OperatorGraph, ExtractionResult]:
         graph = factory(m)
-        return graph, extract_chains(graph)
+        return graph, extract_chains(graph, rewrite=self._rewrite_enabled())
 
     def _extract_cached(
         self, name: str, m: int, graph: OperatorGraph
     ) -> ExtractionResult:
+        rewrite = self._rewrite_enabled()
         return self._memoized_extraction(
-            (name, m), lambda: (graph, extract_chains(graph, validate=False))
+            (name, m),
+            lambda: (graph, extract_chains(graph, validate=False, rewrite=rewrite)),
         )[1]
+
+    def _rewrite_enabled(self) -> bool:
+        # Plan-neutral knob (see PLAN_NEUTRAL_CONFIG_FIELDS): rewriting
+        # changes which chains are extracted, never a chain's compiled plan.
+        return self.server.compiler.config.rewrite
 
     def _memoized_extraction(
         self,

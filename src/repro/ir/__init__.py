@@ -4,7 +4,7 @@ The IR describes the workloads FlashFuser fuses:
 
 * :mod:`repro.ir.tensor` — tensor metadata (shape, dtype, byte size),
 * :mod:`repro.ir.ops` — tensor operators (GEMM, Conv2d, activations,
-  elementwise arithmetic),
+  elementwise arithmetic, reshape/transpose movement ops),
 * :mod:`repro.ir.graph` — operator graphs and the canonical fusible
   *GEMM-chain* description with dimensions (M, N, K, L),
 * :mod:`repro.ir.builders` — constructors for the paper's three chain shapes
@@ -15,8 +15,11 @@ The IR describes the workloads FlashFuser fuses:
 
 from repro.ir.graph import ChainKind, GemmChainSpec, OperatorGraph
 from repro.ir.builders import (
+    build_attention_ffn_variant,
     build_conv_chain,
     build_gated_ffn,
+    build_moe_layer,
+    build_multibranch_residual_block,
     build_standard_ffn,
     build_transformer_layer,
     conv_chain_to_gemm_chain,
@@ -29,15 +32,20 @@ from repro.ir.ops import (
     ElementwiseKind,
     Gemm,
     Operator,
+    Reshape,
+    Transpose,
 )
 from repro.ir.tensor import DType, TensorSpec
 from repro.ir.workloads import (
     CONV_CHAIN_CONFIGS,
     GATED_FFN_CONFIGS,
     GEMM_CHAIN_CONFIGS,
+    GRAPH_ZOO,
     ConvChainConfig,
     GemmChainConfig,
     get_workload,
+    get_zoo_graph,
+    list_graph_zoo,
     list_workloads,
 )
 
@@ -45,8 +53,11 @@ __all__ = [
     "ChainKind",
     "GemmChainSpec",
     "OperatorGraph",
+    "build_attention_ffn_variant",
     "build_conv_chain",
     "build_gated_ffn",
+    "build_moe_layer",
+    "build_multibranch_residual_block",
     "build_standard_ffn",
     "build_transformer_layer",
     "conv_chain_to_gemm_chain",
@@ -57,13 +68,18 @@ __all__ = [
     "ElementwiseKind",
     "Gemm",
     "Operator",
+    "Reshape",
+    "Transpose",
     "DType",
     "TensorSpec",
     "CONV_CHAIN_CONFIGS",
     "GATED_FFN_CONFIGS",
     "GEMM_CHAIN_CONFIGS",
+    "GRAPH_ZOO",
     "ConvChainConfig",
     "GemmChainConfig",
     "get_workload",
+    "get_zoo_graph",
+    "list_graph_zoo",
     "list_workloads",
 ]

@@ -11,6 +11,15 @@ Figure 1 shows the three chains FlashFuser targets:
 Each builder returns both the general :class:`~repro.ir.graph.OperatorGraph`
 and the compact :class:`~repro.ir.graph.GemmChainSpec` the search engine
 consumes.
+
+The ``build_*_variant``-style builders at the bottom of the module
+(:func:`build_multibranch_residual_block`, :func:`build_attention_ffn_variant`,
+:func:`build_moe_layer`) construct the *export spellings* of those same
+shapes — interior reshapes, transposed weight layouts, swapped gating
+operands — that real model dumps produce.  They extract **zero** chains as
+written and exist to exercise the graph rewrite layer
+(:mod:`repro.graphs.rewrite`), which canonicalizes them back to Figure-1
+form; they are registered in :data:`repro.ir.workloads.GRAPH_ZOO`.
 """
 
 from __future__ import annotations
@@ -25,6 +34,8 @@ from repro.ir.ops import (
     Elementwise,
     ElementwiseKind,
     Gemm,
+    Reshape,
+    Transpose,
 )
 from repro.ir.tensor import DType, TensorSpec
 
@@ -234,6 +245,187 @@ def build_transformer_layer(
             res1.output.with_shape((m, hidden)),
         )
     )
+    return graph
+
+
+def build_multibranch_residual_block(
+    name: str,
+    batch: int,
+    channels: int,
+    height: int,
+    width: int,
+    mid_channels: int,
+    kernel: int = 3,
+    activation: ActivationKind = ActivationKind.RELU,
+    dtype: DType = DType.FP16,
+) -> OperatorGraph:
+    """Build a residual conv block as a real exporter spells it.
+
+    The main branch is the Figure-1 conv chain (conv -> act -> conv) with a
+    batch-flattening reshape interposed between the activation and the second
+    convolution — the layout normalization ONNX exporters emit when they fold
+    the batch dimension into the spatial extent.  The skip branch adds the
+    block input back onto the main branch's output (``out_channels ==
+    channels`` so the shapes agree).
+
+    As written the reshape hides the second convolution from the extractor,
+    so the graph extracts **zero** chains; the rewrite layer's
+    reshape-elimination rewires ``conv2`` straight to the activation and the
+    conv chain reappears.
+    """
+    x = TensorSpec(f"{name}.input", (batch, height, width, channels), dtype)
+    weight1 = TensorSpec(
+        f"{name}.w1", (mid_channels, channels, kernel, kernel), dtype
+    )
+    weight2 = TensorSpec(
+        f"{name}.w2", (channels, mid_channels, kernel, kernel), dtype
+    )
+
+    graph = OperatorGraph(name)
+    conv1 = graph.add(Conv2d(f"{name}.conv1", x, weight1))
+    act = graph.add(Activation(f"{name}.act", activation, conv1.output))
+    flat = graph.add(
+        Reshape(
+            f"{name}.flatten",
+            act.output,
+            (1, batch * height, width, mid_channels),
+        )
+    )
+    conv2 = graph.add(Conv2d(f"{name}.conv2", flat.output, weight2))
+    graph.add(
+        Elementwise(
+            f"{name}.residual",
+            ElementwiseKind.ADD,
+            conv2.output.with_shape((batch, height, width, channels)),
+            x,
+        )
+    )
+    return graph
+
+
+def build_attention_ffn_variant(
+    name: str,
+    m: int,
+    hidden: int,
+    intermediate: int,
+    activation: ActivationKind = ActivationKind.RELU,
+    dtype: DType = DType.FP16,
+) -> OperatorGraph:
+    """Build a decoder layer whose FFN weights arrive transposed.
+
+    Structurally :func:`build_transformer_layer` with a standard FFN, except
+    the checkpoint stores both FFN weights in the opposite layout (the
+    ``x @ W.T`` spelling), so each GEMM consumes its weight through an
+    explicit :class:`~repro.ir.ops.Transpose`.  A transposed weight is a
+    *produced* tensor, which fails the extractor's resident-weight check —
+    the graph extracts **zero** chains as written.  The rewrite layer folds
+    each input transpose into a synthetic pre-transposed graph input and the
+    standard-FFN chain reappears.
+    """
+    x = TensorSpec(f"{name}.x", (m, hidden), dtype)
+    w_attn = TensorSpec(f"{name}.Wo", (hidden, hidden), dtype)
+    # Stored layouts are the transpose of what the GEMMs need.
+    b_t = TensorSpec(f"{name}.ffn.B_t", (intermediate, hidden), dtype)
+    d_t = TensorSpec(f"{name}.ffn.D_t", (hidden, intermediate), dtype)
+
+    graph = OperatorGraph(name)
+    attn = graph.add(Gemm(f"{name}.attn_proj", lhs=x, rhs=w_attn))
+    res1 = graph.add(
+        Elementwise(f"{name}.residual1", ElementwiseKind.ADD, attn.output, x)
+    )
+    h = res1.output.with_shape((m, hidden))
+    t_b = graph.add(Transpose(f"{name}.ffn.B.T", b_t))
+    gemm0 = graph.add(Gemm(f"{name}.ffn.gemm0", lhs=h, rhs=t_b.output))
+    act = graph.add(Activation(f"{name}.ffn.act", activation, gemm0.output))
+    t_d = graph.add(Transpose(f"{name}.ffn.D.T", d_t))
+    ffn_out = graph.add(
+        Gemm(
+            f"{name}.ffn.gemm1",
+            lhs=act.output.with_shape((m, intermediate)),
+            rhs=t_d.output,
+        )
+    )
+    graph.add(
+        Elementwise(
+            f"{name}.residual2",
+            ElementwiseKind.ADD,
+            ffn_out.output,
+            res1.output.with_shape((m, hidden)),
+        )
+    )
+    return graph
+
+
+def build_moe_layer(
+    name: str,
+    m: int,
+    hidden: int,
+    intermediate: int,
+    experts: int = 2,
+    activation: ActivationKind = ActivationKind.SILU,
+    dtype: DType = DType.FP16,
+) -> OperatorGraph:
+    """Build a small mixture-of-experts layer in its export spelling.
+
+    A router GEMM (plus its gating activation — residual operators, since
+    routing logits are a graph output) and ``experts`` parallel gated-FFN
+    experts over the shared input, combined by elementwise adds.  Each expert
+    carries two exporter artifacts: the gating multiply is spelled with the
+    operands mirrored (``up * act(gate)``) and a flattening reshape sits
+    between the multiply and the down projection.  The reshape hides the
+    down GEMM from the extractor, so the graph extracts **zero** chains as
+    written; after operand reordering and reshape elimination every expert
+    is a canonical gated-FFN chain.
+    """
+    if experts < 1:
+        raise ValueError("experts must be >= 1")
+    x = TensorSpec(f"{name}.x", (m, hidden), dtype)
+    w_router = TensorSpec(f"{name}.Wr", (hidden, experts), dtype)
+
+    graph = OperatorGraph(name)
+    router = graph.add(Gemm(f"{name}.router", lhs=x, rhs=w_router))
+    graph.add(Activation(f"{name}.route", ActivationKind.SILU, router.output))
+
+    outputs = []
+    for index in range(experts):
+        prefix = f"{name}.e{index}"
+        b0 = TensorSpec(f"{prefix}.B0", (hidden, intermediate), dtype)
+        b1 = TensorSpec(f"{prefix}.B1", (hidden, intermediate), dtype)
+        d = TensorSpec(f"{prefix}.D", (intermediate, hidden), dtype)
+        gate = graph.add(Gemm(f"{prefix}.gate", lhs=x, rhs=b0))
+        up = graph.add(Gemm(f"{prefix}.up", lhs=x, rhs=b1))
+        act = graph.add(Activation(f"{prefix}.act", activation, gate.output))
+        mul = graph.add(
+            Elementwise(
+                f"{prefix}.mul",
+                ElementwiseKind.MUL,
+                up.output,  # mirrored spelling: up * act(gate)
+                act.output.with_shape((m, intermediate)),
+            )
+        )
+        flat = graph.add(
+            Reshape(f"{prefix}.flatten", mul.output, (m * intermediate,))
+        )
+        down = graph.add(
+            Gemm(
+                f"{prefix}.down",
+                lhs=flat.output.with_shape((m, intermediate)),
+                rhs=d,
+            )
+        )
+        outputs.append(down.output)
+
+    combined = outputs[0]
+    for index in range(1, experts):
+        combine = graph.add(
+            Elementwise(
+                f"{name}.combine{index}",
+                ElementwiseKind.ADD,
+                combined.with_shape((m, hidden)),
+                outputs[index],
+            )
+        )
+        combined = combine.output
     return graph
 
 

@@ -300,6 +300,18 @@ class OperatorGraph:
     def __len__(self) -> int:
         return len(self._operators)
 
+    @property
+    def declared_inputs(self) -> Optional[List[TensorSpec]]:
+        """The explicitly declared input tensors, or ``None`` when implicit.
+
+        Graph surgery (the rewrite layer) uses this to rebuild a graph with
+        the same input declaration discipline as the original: a graph that
+        declared its inputs keeps rejecting tensor-name typos after rewriting.
+        """
+        if self._declared_inputs is None:
+            return None
+        return list(self._declared_inputs.values())
+
     def producer_of(self, tensor_name: str) -> Optional[Operator]:
         """The operator producing ``tensor_name``, or ``None`` for inputs."""
         return self._producers.get(tensor_name)

@@ -2,8 +2,11 @@
 
 The operator set covers what the paper's workloads need: GEMM, 2-D
 convolution (lowered to GEMM via im2col by :mod:`repro.ir.builders`),
-activations (ReLU, SiLU, GELU), and elementwise arithmetic (add, multiply)
-for residual connections and gated FFNs.
+activations (ReLU, SiLU, GELU), elementwise arithmetic (add, multiply)
+for residual connections and gated FFNs, and the zero-FLOP data-movement
+operators (reshape, transpose) that real model exports sprinkle between
+them — the graph rewrite layer (:mod:`repro.graphs.rewrite`) exists to
+sink those out of the way of chain extraction.
 
 Every operator knows its input/output tensors, its FLOP count and the number
 of bytes it touches, which is all the downstream roofline and baseline models
@@ -265,3 +268,82 @@ class Conv2d(Operator):
             self.out_channels,
             self.in_channels * kh * kw,
         )
+
+
+@dataclass(frozen=True)
+class Reshape(Operator):
+    """Element-order-preserving shape change (a pure metadata operator).
+
+    Real model exports routinely interpose flatten/unflatten reshapes between
+    the operators the extractor matches; a reshape moves no data and performs
+    no arithmetic, so :meth:`flops` is 0 and :meth:`io_bytes` charges nothing
+    (frameworks implement it as a view).  The rewrite layer eliminates
+    interior reshapes by rewiring consumers straight to the input tensor,
+    which :meth:`~repro.ir.graph.OperatorGraph.validate` permits because edge
+    consistency is checked on element count and dtype, not on exact shape.
+    """
+
+    name: str
+    input_spec: TensorSpec
+    shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        if count != self.input_spec.num_elements:
+            raise ValueError(
+                f"Reshape must preserve the element count: input "
+                f"{self.input_spec.shape} has {self.input_spec.num_elements} "
+                f"elements, target {self.shape} has {count}"
+            )
+
+    @property
+    def inputs(self) -> List[TensorSpec]:
+        return [self.input_spec]
+
+    @property
+    def output(self) -> TensorSpec:
+        return TensorSpec(
+            name=f"{self.name}.out", shape=self.shape, dtype=self.input_spec.dtype
+        )
+
+    def flops(self) -> int:
+        return 0
+
+    def io_bytes(self) -> int:
+        # A metadata-only view: no element is read or written.
+        return 0
+
+
+@dataclass(frozen=True)
+class Transpose(Operator):
+    """Rank-2 transpose ``out[j, i] = in[i, j]``.
+
+    Appears when a checkpoint stores a weight in the opposite layout from
+    the GEMM that consumes it (``x @ W.T`` spellings).  A transpose of a
+    graph-input tensor can be folded away entirely — the rewrite layer
+    replaces it with a synthetic pre-transposed graph input so the consuming
+    GEMM sees a resident weight again.
+    """
+
+    name: str
+    input_spec: TensorSpec
+
+    def __post_init__(self) -> None:
+        if self.input_spec.rank != 2:
+            raise ValueError("Transpose supports rank-2 tensors only")
+
+    @property
+    def inputs(self) -> List[TensorSpec]:
+        return [self.input_spec]
+
+    @property
+    def output(self) -> TensorSpec:
+        rows, cols = self.input_spec.shape
+        return TensorSpec(
+            name=f"{self.name}.out", shape=(cols, rows), dtype=self.input_spec.dtype
+        )
+
+    def flops(self) -> int:
+        return 0

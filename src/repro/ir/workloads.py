@@ -12,11 +12,14 @@ end-to-end experiments (Figures 16-17).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Union
+from typing import Callable, Dict, List, Union
 
 from repro.ir.builders import (
+    build_attention_ffn_variant,
     build_conv_chain,
     build_gated_ffn,
+    build_moe_layer,
+    build_multibranch_residual_block,
     build_standard_ffn,
     build_transformer_layer,
 )
@@ -313,3 +316,75 @@ def get_model(name: str) -> ModelConfig:
     if name not in MODEL_ZOO:
         raise KeyError(f"unknown model {name!r}")
     return MODEL_ZOO[name]
+
+
+# --------------------------------------------------------------------- #
+# Graph zoo: export spellings exercising the rewrite layer.
+# --------------------------------------------------------------------- #
+def _residual_block_graph(m: int) -> OperatorGraph:
+    # m plays the batch role; spatial/channel sizes are a ResNet-ish block.
+    return build_multibranch_residual_block(
+        "zoo.residual_block",
+        batch=max(1, m // 64),
+        channels=64,
+        height=14,
+        width=14,
+        mid_channels=128,
+    )
+
+
+def _attention_ffn_graph(m: int) -> OperatorGraph:
+    return build_attention_ffn_variant(
+        "zoo.attention_ffn", m=m, hidden=768, intermediate=3072
+    )
+
+
+def _moe_layer_graph(m: int) -> OperatorGraph:
+    return build_moe_layer(
+        "zoo.moe_layer", m=m, hidden=1024, intermediate=2816, experts=2
+    )
+
+
+#: A graph-zoo entry: the problem-size scale ``m`` to an operator graph.
+GraphZooFactory = Callable[[int], OperatorGraph]
+
+
+#: Operator graphs spelled the way real model exports spell them — interior
+#: reshapes, transposed weight layouts, mirrored gating operands.  Every
+#: entry extracts **zero** fusible chains as written and at least one after
+#: :func:`repro.graphs.rewrite.canonicalize`; the rewrite coverage benchmark
+#: (``benchmarks/test_rewrite_coverage.py``) sweeps this registry.  Kept
+#: separate from the Table V-VII suites (``list_workloads`` does not include
+#: these ids) because they are graphs, not chain configurations.
+GRAPH_ZOO: Dict[str, GraphZooFactory] = {
+    "residual_block": _residual_block_graph,
+    "attention_ffn": _attention_ffn_graph,
+    "moe_layer": _moe_layer_graph,
+}
+
+
+def list_graph_zoo() -> List[str]:
+    """List the graph-zoo entry names.
+
+    Example
+    -------
+    >>> list_graph_zoo()
+    ['residual_block', 'attention_ffn', 'moe_layer']
+    """
+    return list(GRAPH_ZOO)
+
+
+def get_zoo_graph(name: str, m: int = 128) -> OperatorGraph:
+    """Materialise one graph-zoo entry at problem size ``m``.
+
+    ``m`` is the GEMM-row scale (sequence-length-times-batch for the
+    transformer-shaped entries, batch granularity for the conv block).
+
+    Example
+    -------
+    >>> get_zoo_graph("moe_layer", m=64).name
+    'zoo.moe_layer'
+    """
+    if name not in GRAPH_ZOO:
+        raise KeyError(f"unknown graph-zoo entry {name!r}")
+    return GRAPH_ZOO[name](m)

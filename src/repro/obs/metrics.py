@@ -567,6 +567,47 @@ class MetricsRegistry:
                         worker=worker,
                     )
 
+    def publish_rewrite_provenance(
+        self,
+        payload: Mapping[str, object],
+        prefix: str = "repro_rewrite",
+        **labels,
+    ) -> None:
+        """Publish a ``RewriteProvenance.to_dict()`` payload into the registry.
+
+        Rule firings become a per-rule labelled counter, and the pass count,
+        operators-eliminated total and pruned-rule-scan total become plain
+        counters — one scrape answers "is the rewrite layer actually doing
+        anything, and which rules carry the load".
+
+        Parameters
+        ----------
+        payload:
+            A :meth:`repro.graphs.rewrite.RewriteProvenance.to_dict` snapshot.
+        prefix:
+            Metric-name prefix (`repro_rewrite` by default).
+        """
+        self.counter(
+            f"{prefix}_passes_total", "Rewrite fixpoint passes", **labels
+        ).set_total(payload.get("passes", 0))
+        self.counter(
+            f"{prefix}_ops_eliminated_total", "Operators eliminated", **labels
+        ).set_total(payload.get("ops_eliminated", 0))
+        self.counter(
+            f"{prefix}_rules_pruned_total",
+            "Rule scans skipped by anchor pre-pruning",
+            **labels,
+        ).set_total(payload.get("rules_pruned", 0))
+        fired = payload.get("fired_counts") or {}
+        if isinstance(fired, Mapping):
+            for rule, count in fired.items():
+                self.counter(
+                    f"{prefix}_rule_fired_total",
+                    "Rewrite-rule applications",
+                    rule=rule,
+                    **labels,
+                ).set_total(count)
+
     # -- rendering ------------------------------------------------------- #
     @staticmethod
     def _label_text(key: tuple, extra: str = "") -> str:

@@ -8,6 +8,26 @@ from repro.api import FlashFuser
 from repro.hardware.spec import a100_spec, h100_spec
 from repro.ir.builders import build_gated_ffn, build_standard_ffn
 
+try:  # Property-fuzz budgets (tests/test_rewrite_properties.py).
+    from hypothesis import HealthCheck, settings
+
+    # ``derandomize`` pins the generation seed, so both profiles replay the
+    # same example sequence on every run; ``ci`` just draws a deeper budget
+    # (the CI fuzz step selects it with ``--hypothesis-profile=ci``).
+    settings.register_profile(
+        "ci",
+        max_examples=200,
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "dev", max_examples=25, derandomize=True, deadline=None
+    )
+    settings.load_profile("dev")
+except ImportError:  # pragma: no cover - hypothesis is an optional dep
+    pass
+
 
 @pytest.fixture(scope="session")
 def h100():

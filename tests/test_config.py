@@ -526,6 +526,8 @@ EXPECTED_EXPORTS = frozenset(
         "ModelPlan",
         "ModelServer",
         "PlanSegment",
+        "RewriteProvenance",
+        "canonicalize",
         "compile_graph",
         "extract_chains",
         "ParallelSearchEngine",

@@ -1,0 +1,156 @@
+"""Property-fuzzed soundness harness for the graph rewrite layer.
+
+A hypothesis strategy grows random DAG-shaped :class:`OperatorGraph` values
+operator by operator — GEMMs over a tensor pool, activations (including
+IDENTITY), elementwise arithmetic over count-compatible tensors, reshapes
+and transposes — the same op mix real export graphs contain, in shapes the
+hand-written tests would never think to spell.  Over those graphs the suite
+states the rewrite engine's contract as four properties:
+
+* **soundness** — every canonicalized graph passes
+  :meth:`OperatorGraph.validate`;
+* **idempotence** — canonicalizing a fixpoint fires nothing and leaves the
+  graph structurally identical (:func:`graph_signature`);
+* **determinism** — the same input graph always produces the same firing
+  sequence and the same output graph;
+* **extraction monotonicity** — rewriting never yields *fewer* fusible
+  chains than matching the raw graph.
+
+Budgets come from the hypothesis profiles registered in ``conftest.py``:
+the default ``dev`` profile keeps local runs fast, the CI fuzz step selects
+the deeper ``ci`` profile (``--hypothesis-profile=ci``).  Both derandomize,
+so failures replay; shrunk counterexamples get committed to
+``tests/test_rewrite.py::TestFuzzerRegressions`` as named deterministic
+tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st
+
+from repro.graphs.extract import extract_chains
+from repro.graphs.rewrite import canonicalize, graph_signature
+from repro.ir.graph import OperatorGraph
+from repro.ir.ops import (
+    Activation,
+    ActivationKind,
+    Elementwise,
+    ElementwiseKind,
+    Gemm,
+    Reshape,
+    Transpose,
+)
+from repro.ir.tensor import TensorSpec
+
+#: Small extents keep generated GEMMs composable and the graphs cheap.
+_EXTENTS = (2, 4, 8)
+
+
+@st.composite
+def operator_graphs(draw) -> OperatorGraph:
+    """A random valid operator graph, grown operator by operator.
+
+    The strategy keeps a pool of every tensor materialised so far (graph
+    inputs plus operator outputs, all rank-2) and repeatedly draws one of
+    six operator templates consuming pool tensors; each output re-enters
+    the pool, so later draws can chain onto earlier ones and fan-out,
+    sharing and dead ends all arise naturally.  Shrinking drops trailing
+    operators first, which is exactly the minimization order that produces
+    readable counterexamples.
+    """
+    rows = draw(st.sampled_from(_EXTENTS))
+    cols = draw(st.sampled_from(_EXTENTS))
+    pool = [TensorSpec("fuzz.x0", (rows, cols))]
+    fresh = 0
+
+    graph = OperatorGraph("fuzz")
+    count = draw(st.integers(min_value=1, max_value=10))
+    for index in range(count):
+        op_kind = draw(
+            st.sampled_from(
+                ["gemm", "gemm_weight", "act", "eltwise", "reshape", "transpose"]
+            )
+        )
+        name = f"fuzz.op{index}"
+        source = draw(st.sampled_from(pool))
+        if op_kind in ("gemm", "gemm_weight"):
+            n = draw(st.sampled_from(_EXTENTS))
+            if op_kind == "gemm_weight":
+                fresh += 1
+                rhs = TensorSpec(f"fuzz.w{fresh}", (source.shape[1], n))
+            else:
+                compatible = [
+                    spec for spec in pool if spec.shape[0] == source.shape[1]
+                ]
+                if not compatible:
+                    fresh += 1
+                    rhs = TensorSpec(f"fuzz.w{fresh}", (source.shape[1], n))
+                else:
+                    rhs = draw(st.sampled_from(compatible))
+            op = Gemm(name, lhs=source, rhs=rhs)
+        elif op_kind == "act":
+            kind = draw(st.sampled_from(list(ActivationKind)))
+            op = Activation(name, kind, source)
+        elif op_kind == "eltwise":
+            matching = [
+                spec
+                for spec in pool
+                if spec.num_elements == source.num_elements
+            ]
+            other = draw(st.sampled_from(matching))
+            kind = draw(st.sampled_from(list(ElementwiseKind)))
+            # The with_shape idiom the builders use: equal element counts
+            # are a legal edge, the elementwise op itself needs equal shapes.
+            op = Elementwise(name, kind, source, other.with_shape(source.shape))
+        elif op_kind == "reshape":
+            a, b = source.shape
+            target = draw(st.sampled_from([(b, a), (1, a * b), (a * b, 1)]))
+            op = Reshape(name, source, target)
+        else:
+            op = Transpose(name, source)
+        graph.add(op)
+        pool.append(op.output)
+    graph.validate()
+    return graph
+
+
+class TestRewriteProperties:
+    @given(graph=operator_graphs())
+    def test_rewritten_graphs_stay_valid(self, graph):
+        result = canonicalize(graph)
+        assert result.graph.validate() is result.graph
+
+    @given(graph=operator_graphs())
+    def test_canonicalize_reaches_a_true_fixpoint(self, graph):
+        once = canonicalize(graph)
+        twice = canonicalize(once.graph)
+        assert twice.provenance.rules_fired == ()
+        assert graph_signature(twice.graph) == graph_signature(once.graph)
+
+    @given(graph=operator_graphs())
+    def test_rule_firing_is_deterministic(self, graph):
+        first = canonicalize(graph)
+        second = canonicalize(graph)
+        assert first.provenance.rules_fired == second.provenance.rules_fired
+        assert graph_signature(first.graph) == graph_signature(second.graph)
+
+    @given(graph=operator_graphs())
+    def test_rewriting_never_loses_chains(self, graph):
+        raw = extract_chains(graph).num_chains
+        rewritten = extract_chains(graph, rewrite=True)
+        assert rewritten.num_chains >= raw
+        # Provenance accounting stays consistent on arbitrary graphs too.
+        provenance = rewritten.rewrite
+        assert provenance.ops_after == (
+            provenance.ops_before
+            - provenance.ops_eliminated
+            + sum(
+                1
+                for name in provenance.rules_fired
+                if name == "insert-chain-activation"
+            )
+        )
